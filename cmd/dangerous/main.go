@@ -1,0 +1,220 @@
+// Command dangerous computes the paper's dangerous paths for a process
+// state machine: the events along which a commit would violate the
+// Lose-work invariant and make recovery from a propagation failure
+// impossible.
+//
+// With -demo, it reproduces the paper's Figures 5 and 6. Otherwise it reads
+// a machine description from the file named by -f (or stdin):
+//
+//	states <n>
+//	start <state>
+//	crash <state>
+//	edge <from> <to> det|transient|fixed [label ...]
+//
+// and prints the coloring and the safe commit states.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"failtrans/internal/event"
+	"failtrans/internal/statemachine"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "reproduce the paper's Figure 5 and Figure 6 examples")
+	file := flag.String("f", "", "machine description file (default: stdin)")
+	dot := flag.String("dot", "", "also write a Graphviz rendering of the coloring to this file")
+	flag.Parse()
+	dotOut = *dot
+
+	if *demo {
+		runDemo()
+		return
+	}
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	m, err := parse(in)
+	if err != nil {
+		fail(err)
+	}
+	report(m)
+}
+
+func parse(in io.Reader) (*statemachine.Machine, error) {
+	sc := bufio.NewScanner(in)
+	var m *statemachine.Machine
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		bad := func(msg string) error { return fmt.Errorf("line %d: %s", line, msg) }
+		switch fields[0] {
+		case "states":
+			var n int
+			if len(fields) != 2 || scan(fields[1], &n) != nil || n <= 0 {
+				return nil, bad("states <n>")
+			}
+			m = statemachine.New(n)
+		case "start":
+			if m == nil {
+				return nil, bad("start before states")
+			}
+			var s int
+			if len(fields) != 2 || scan(fields[1], &s) != nil {
+				return nil, bad("start <state>")
+			}
+			m.Start = statemachine.StateID(s)
+		case "crash":
+			if m == nil {
+				return nil, bad("crash before states")
+			}
+			var s int
+			if len(fields) != 2 || scan(fields[1], &s) != nil {
+				return nil, bad("crash <state>")
+			}
+			m.MarkCrash(statemachine.StateID(s))
+		case "edge":
+			if m == nil {
+				return nil, bad("edge before states")
+			}
+			if len(fields) < 4 {
+				return nil, bad("edge <from> <to> det|transient|fixed [label]")
+			}
+			var from, to int
+			if scan(fields[1], &from) != nil || scan(fields[2], &to) != nil {
+				return nil, bad("edge states must be integers")
+			}
+			var nd event.NDClass
+			switch fields[3] {
+			case "det":
+				nd = event.Deterministic
+			case "transient":
+				nd = event.TransientND
+			case "fixed":
+				nd = event.FixedND
+			default:
+				return nil, bad("class must be det, transient or fixed")
+			}
+			m.AddEdge(statemachine.Edge{
+				From: statemachine.StateID(from), To: statemachine.StateID(to),
+				ND: nd, Label: strings.Join(fields[4:], " "),
+			})
+		default:
+			return nil, bad("unknown directive " + fields[0])
+		}
+	}
+	if m == nil {
+		return nil, fmt.Errorf("empty machine description")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, sc.Err()
+}
+
+func scan(s string, v *int) error {
+	_, err := fmt.Sscanf(s, "%d", v)
+	return err
+}
+
+// dotOut, when set, receives a Graphviz rendering of the last coloring.
+var dotOut string
+
+func report(m *statemachine.Machine) {
+	c := m.DangerousPaths()
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := c.WriteDot(f, "dangerous"); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", dotOut)
+	}
+	fmt.Printf("machine: %d states, %d events, %d crash states\n", m.NumStates, len(m.Edges), len(m.CrashStates))
+	fmt.Println("events (colored = on a dangerous path):")
+	for i, e := range m.Edges {
+		mark := " "
+		if c.Dangerous(statemachine.EventID(i)) {
+			mark = "*"
+		}
+		nd := map[event.NDClass]string{event.Deterministic: "det", event.TransientND: "transient", event.FixedND: "fixed"}[e.ND]
+		fmt.Printf("  %s e%-3d %3d -> %-3d %-9s %s\n", mark, i, e.From, e.To, nd, e.Label)
+	}
+	fmt.Print("safe commit states: ")
+	for _, s := range c.SafeCommitStates() {
+		fmt.Printf("%d ", s)
+	}
+	fmt.Println()
+	fmt.Print("doomed commit states: ")
+	for s := 0; s < m.NumStates; s++ {
+		if !m.CrashStates[statemachine.StateID(s)] && c.CommitUnsafeAt(statemachine.StateID(s)) {
+			fmt.Printf("%d ", s)
+		}
+	}
+	fmt.Println()
+}
+
+func runDemo() {
+	fmt.Println("=== Figure 5: buffer-overrun timeline ===")
+	fmt.Println("A transient ND event e sends execution down a path that overruns a")
+	fmt.Println("buffer, trashes a pointer, and crashes on its use. Committing any")
+	fmt.Println("time after e dooms recovery; committing before e is safe.")
+	m := statemachine.New(7)
+	m.AddEdge(statemachine.Edge{From: 0, To: 1, ND: event.TransientND, Label: "ND event e (unlucky result)"})
+	m.AddEdge(statemachine.Edge{From: 0, To: 6, ND: event.TransientND, Label: "ND event e (lucky result)"})
+	m.AddEdge(statemachine.Edge{From: 1, To: 2, Label: "begin buffer init"})
+	m.AddEdge(statemachine.Edge{From: 2, To: 3, Label: "overwrite pointer"})
+	m.AddEdge(statemachine.Edge{From: 3, To: 4, Label: "use pointer (crash)"})
+	m.MarkCrash(4)
+	report(m)
+
+	fmt.Println()
+	fmt.Println("=== Figure 6B: transient non-determinism with an escape ===")
+	b := statemachine.New(5)
+	b.AddEdge(statemachine.Edge{From: 0, To: 1, ND: event.TransientND, Label: "bad result"})
+	b.AddEdge(statemachine.Edge{From: 0, To: 2, ND: event.TransientND, Label: "good result"})
+	b.AddEdge(statemachine.Edge{From: 1, To: 3, Label: "doomed"})
+	b.AddEdge(statemachine.Edge{From: 2, To: 4, Label: "completes"})
+	b.MarkCrash(3)
+	report(b)
+
+	fmt.Println()
+	fmt.Println("=== Figure 6C: the same fork, but FIXED non-determinism ===")
+	c := statemachine.New(5)
+	c.AddEdge(statemachine.Edge{From: 0, To: 1, ND: event.FixedND, Label: "bad result"})
+	c.AddEdge(statemachine.Edge{From: 0, To: 2, ND: event.FixedND, Label: "good result"})
+	c.AddEdge(statemachine.Edge{From: 1, To: 3, Label: "doomed"})
+	c.AddEdge(statemachine.Edge{From: 2, To: 4, Label: "completes"})
+	c.MarkCrash(3)
+	report(c)
+	fmt.Println()
+	fmt.Println("Note how state 0 is a safe commit point under transient ND (6B) but")
+	fmt.Println("doomed under fixed ND (6C): recovery cannot rely on fixed events changing.")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dangerous:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command ftbench regenerates the paper's evaluation: Figure 8 (protocol
+// performance for nvi, magic, xpilot and TreadMarks under Discount Checking
+// on reliable memory and on disk), Table 1 (application faults vs the
+// Lose-work invariant), Table 2 (OS faults vs recovery), and the Figure 3
+// protocol space.
+//
+// Usage:
+//
+//	ftbench -experiment all|fig8|table1|table2|space [-app nvi] [-scale 1] [-crashes 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"failtrans/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig8 | table1 | table2 | space | all")
+	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks)")
+	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
+	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("fig8") {
+		apps := bench.Fig8Apps
+		if *app != "" {
+			apps = []string{*app}
+		}
+		for _, a := range apps {
+			a := a
+			run("fig8/"+a, func() error {
+				res, err := bench.Fig8(a, *scale)
+				if err != nil {
+					return err
+				}
+				res.Print(os.Stdout)
+				return nil
+			})
+		}
+	}
+	if want("table1") {
+		run("table1", func() error {
+			res, err := bench.Table1(*crashes)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("table2") {
+		run("table2", func() error {
+			res, err := bench.Table2(*crashes)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("space") {
+		run("space", func() error {
+			bench.PrintSpace(os.Stdout)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Command ftsim runs one workload application under one recovery protocol
+// and commit medium, optionally injecting stop failures, and prints the
+// run's event, checkpoint and recovery statistics.
+//
+// Usage:
+//
+//	ftsim -app nvi -protocol CPVS -medium rio [-scale 1] [-stop proc:step]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"failtrans/internal/bench"
+	"failtrans/internal/dc"
+	"failtrans/internal/event"
+	"failtrans/internal/protocol"
+	"failtrans/internal/recovery"
+	"failtrans/internal/stablestore"
+	"failtrans/internal/trace"
+)
+
+type stopList []string
+
+func (s *stopList) String() string     { return strings.Join(*s, ",") }
+func (s *stopList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	app := flag.String("app", "nvi", "nvi | magic | xpilot | treadmarks")
+	polName := flag.String("protocol", "CPVS", "protocol name (see ftbench -experiment space), or NONE")
+	mediumName := flag.String("medium", "rio", "rio | disk")
+	scale := flag.Int("scale", 1, "workload scale")
+	seed := flag.Int64("seed", 11, "simulation seed")
+	verbose := flag.Bool("v", false, "print visible output")
+	dump := flag.String("dump", "", "write the recorded event trace (JSON lines) to this file")
+	var stops stopList
+	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
+	flag.Parse()
+
+	w, err := bench.BuildWorld(*app, *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	medium := stablestore.Rio
+	if *mediumName == "disk" {
+		medium = stablestore.Disk
+	}
+	var d *dc.DC
+	if *polName != "NONE" {
+		pol, err := protocol.ByName(*polName)
+		if err != nil {
+			fail(err)
+		}
+		d = dc.New(w, pol, medium)
+		if err := d.Attach(); err != nil {
+			fail(err)
+		}
+	}
+	for _, s := range stops {
+		var proc, step int
+		if _, err := fmt.Sscanf(s, "%d:%d", &proc, &step); err != nil {
+			fail(fmt.Errorf("bad -stop %q (want proc:step)", s))
+		}
+		w.ScheduleStop(proc, step)
+	}
+	if err := w.Run(); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("app=%s protocol=%s medium=%s\n", *app, *polName, medium.Name)
+	fmt.Printf("virtual time:   %v\n", w.Clock)
+	fmt.Printf("events:         %d\n", w.EventCount)
+	kinds := map[event.Kind]int{}
+	nd := 0
+	for _, e := range w.Trace.Events {
+		kinds[e.Kind]++
+		if e.EffectivelyND() {
+			nd++
+		}
+	}
+	fmt.Printf("  visible=%d send=%d receive=%d commit=%d effectively-nd=%d\n",
+		kinds[event.Visible], kinds[event.Send], kinds[event.Receive], kinds[event.Commit], nd)
+	for i, p := range w.Procs {
+		fmt.Printf("proc %d (%s): status=%v steps=%d crashes=%d\n",
+			i, p.Prog.Name(), p.Status(), p.Steps, p.Crashes)
+	}
+	if d != nil {
+		fmt.Printf("checkpoints:    %v (total %d)\n", d.Stats.Checkpoints, d.Stats.TotalCheckpoints())
+		fmt.Printf("commit bytes:   %d  commit time: %v\n", d.Stats.CommitBytes, d.Stats.CommitTime)
+		fmt.Printf("log records:    %d (%d bytes)\n", d.Stats.LogRecords, d.Stats.LogBytes)
+		fmt.Printf("recoveries:     %d  2pc rounds: %d\n", d.Stats.Recoveries, d.Stats.TwoPhaseRounds)
+	}
+	// The paper's §3 heuristic, applied to this run's event mix.
+	sum := trace.Summarize(w.Trace)
+	inputs := 0
+	for _, e := range w.Trace.Events {
+		if e.Label == "input" {
+			inputs++
+		}
+	}
+	mix := protocol.EventMix{
+		Visible:     sum.ByKind[event.Visible],
+		Sends:       sum.ByKind[event.Send],
+		Receives:    sum.ByKind[event.Receive],
+		Input:       inputs,
+		OtherND:     sum.EffectivelyND - inputs - sum.ByKind[event.Receive],
+		Distributed: len(w.Procs) > 1,
+	}
+	if mix.OtherND < 0 {
+		mix.OtherND = 0
+	}
+	fmt.Printf("recommended:    %s\n", protocol.RecommendString(mix))
+	if vs := recovery.CheckSaveWork(w.Trace); len(vs) == 0 {
+		fmt.Println("save-work:      upheld over the recorded trace")
+	} else {
+		fmt.Printf("save-work:      violated on the raw trace (rollback-discarded events are counted) (%d), first: %v\n", len(vs), vs[0])
+	}
+	if *verbose {
+		for _, line := range w.GlobalOutputs {
+			fmt.Println("  |", line)
+		}
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Save(f, w.Trace); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace:          %s (%s)\n", *dump, trace.Summarize(w.Trace))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ftsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package failtrans_test
+
+import (
+	"fmt"
+
+	"failtrans"
+)
+
+// ExampleCheckSaveWork shows the Save-work invariant catching the paper's
+// Figure 1 coin flip: a transient non-deterministic event precedes a
+// visible event with no commit in between.
+func ExampleCheckSaveWork() {
+	tr := failtrans.NewTrace(1)
+	tr.MustAppend(failtrans.Event{
+		ID: failtrans.EventID{P: 0, I: -1}, Kind: failtrans.Internal,
+		ND: failtrans.TransientND, Label: "coin flip",
+	})
+	tr.MustAppend(failtrans.Event{
+		ID: failtrans.EventID{P: 0, I: -1}, Kind: failtrans.Visible, Label: "print",
+	})
+	for _, v := range failtrans.CheckSaveWork(tr) {
+		fmt.Println(v)
+	}
+	// Output:
+	// Save-work-visible: ND event e_0^0 causally precedes visible e_0^1 without an intervening commit
+}
+
+// ExampleMachine_DangerousPaths computes where committing would violate the
+// Lose-work invariant: a transient non-deterministic fork where one result
+// leads deterministically to a crash.
+func ExampleMachine_DangerousPaths() {
+	m := failtrans.NewMachine(5)
+	m.AddEdge(failtrans.MachineEdge{From: 0, To: 1, ND: failtrans.TransientND, Label: "bad luck"})
+	m.AddEdge(failtrans.MachineEdge{From: 0, To: 2, ND: failtrans.TransientND, Label: "good luck"})
+	m.AddEdge(failtrans.MachineEdge{From: 1, To: 3, Label: "doomed"})
+	m.AddEdge(failtrans.MachineEdge{From: 2, To: 4, Label: "completes"})
+	m.MarkCrash(3)
+	c := m.DangerousPaths()
+	fmt.Println("commit at state 0 unsafe:", c.CommitUnsafeAt(0))
+	fmt.Println("commit at state 1 unsafe:", c.CommitUnsafeAt(1))
+	fmt.Println("commit at state 2 unsafe:", c.CommitUnsafeAt(2))
+	// Output:
+	// commit at state 0 unsafe: false
+	// commit at state 1 unsafe: true
+	// commit at state 2 unsafe: false
+}
+
+// ExampleEquivalent shows the paper's duplicates-allowed output
+// equivalence: recovery may repeat earlier visible events, never contradict
+// them.
+func ExampleEquivalent() {
+	legal := []string{"a", "b", "c"}
+	eq, complete := failtrans.Equivalent([]string{"a", "b", "b", "c"}, legal)
+	fmt.Println(eq, complete)
+	eq, _ = failtrans.Equivalent([]string{"a", "x"}, legal)
+	fmt.Println(eq)
+	// Output:
+	// true true
+	// false
+}
+
+// ExampleProtocolByName looks up a protocol from the Figure 3 catalog.
+func ExampleProtocolByName() {
+	p, _ := failtrans.ProtocolByName("CBNDVS-LOG")
+	fmt.Println(p.Name, "logs input:", p.LogInput, "logs receives:", p.LogReceives)
+	// Output:
+	// CBNDVS-LOG logs input: true logs receives: true
+}

@@ -1,0 +1,102 @@
+// real-restart: failure transparency across REAL process restarts.
+//
+// The other examples simulate crashes inside one process. This one
+// persists the editor's checkpoint image in a crash-safe file store
+// (append-only log, per-record CRCs, torn-write recovery), so you can kill
+// the actual program between invocations and the session continues where
+// its last commit left it:
+//
+//	go run ./examples/real-restart        # types a few keystrokes, exits
+//	go run ./examples/real-restart        # continues the same session
+//	go run ./examples/real-restart -reset # start over
+//
+// Every invocation plays the role of "execution until a stop failure";
+// the next invocation is the recovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"failtrans"
+	"failtrans/internal/apps/nvi"
+	"failtrans/internal/kernel"
+	"failtrans/internal/stablestore"
+)
+
+const session = "iFailure transparency works across real restarts.\x1b" +
+	"oEach run executes a slice of the session and commits.\x1b" +
+	"oKill it anywhere; the next run resumes from the last commit.\x1b" +
+	":wq\n"
+
+const keystrokesPerRun = 20
+
+func main() {
+	reset := flag.Bool("reset", false, "discard the persisted session")
+	statePath := flag.String("state", "/tmp/failtrans-restart.db", "checkpoint store path")
+	flag.Parse()
+
+	if *reset {
+		os.Remove(*statePath)
+		fmt.Println("session reset")
+		return
+	}
+	store, err := stablestore.OpenFile(*statePath)
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	e := nvi.New("novel.txt", []string{"draft"})
+	e.ThinkTime = 0
+	w := failtrans.NewWorld(1, e)
+	k := kernel.New()
+	k.Clock = func() time.Duration { return w.Clock }
+	w.OS = k
+	w.Procs[0].Ctx().Inputs = nvi.Script(session)
+
+	// Recovery: load the persisted checkpoint image, if any.
+	if img, ok := store.Get("checkpoint"); ok {
+		if err := w.Init(); err != nil {
+			panic(err)
+		}
+		if err := w.Procs[0].RestoreCheckpointImage(img); err != nil {
+			panic(err)
+		}
+		fmt.Printf("resumed at keystroke %d\n", e.Keystroke)
+	} else {
+		fmt.Println("fresh session")
+	}
+
+	// Execute a slice of the session, committing after every keystroke
+	// (the CPVS discipline, done by hand against the durable store).
+	start := e.Keystroke
+	for e.Keystroke < start+keystrokesPerRun && !e.Done() {
+		more, err := w.Step()
+		if err != nil {
+			panic(err)
+		}
+		if !more {
+			break
+		}
+		img, err := w.Procs[0].CheckpointImage(false)
+		if err != nil {
+			panic(err)
+		}
+		if err := store.Put("checkpoint", img); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Printf("executed through keystroke %d; document now:\n", e.Keystroke)
+	for _, l := range e.Contents() {
+		fmt.Println("  |", l)
+	}
+	if e.Done() {
+		fmt.Println("session complete — run with -reset to start over")
+	} else {
+		fmt.Println("kill/restart me to continue (state in", *statePath+")")
+	}
+}

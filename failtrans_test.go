@@ -1,0 +1,165 @@
+package failtrans
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// pingPong is a public-API program pair used by the façade tests.
+type flipProg struct {
+	Phase int
+	Coin  uint64
+}
+
+func (f *flipProg) Name() string                  { return "flip" }
+func (f *flipProg) Init(ctx *Ctx) error           { return nil }
+func (f *flipProg) MarshalState() ([]byte, error) { return json.Marshal(f) }
+func (f *flipProg) UnmarshalState(d []byte) error { return json.Unmarshal(d, f) }
+func (f *flipProg) Step(ctx *Ctx) Status {
+	switch f.Phase {
+	case 0:
+		f.Coin = ctx.Rand() % 2
+	case 1, 2:
+		ctx.Output([]string{"heads", "tails"}[f.Coin])
+	default:
+		return Done
+	}
+	f.Phase++
+	return Ready
+}
+
+// TestPublicAPIEndToEnd exercises the façade: world, DC, stop failure,
+// invariant checker, equivalence checker.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, pol := range MeasuredProtocols() {
+		w := NewWorld(9, &flipProg{})
+		d := NewDC(w, pol, Rio)
+		if err := d.Attach(); err != nil {
+			t.Fatal(err)
+		}
+		w.ScheduleStop(0, 3)
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !w.AllDone() {
+			t.Fatalf("%s: did not finish", pol.Name)
+		}
+		out := w.Outputs[0]
+		if eq, complete := Equivalent(out, []string{out[0], out[0]}); !eq || !complete {
+			t.Errorf("%s: output %v not consistent", pol.Name, out)
+		}
+	}
+}
+
+func TestPublicAPICheckers(t *testing.T) {
+	tr := NewTrace(1)
+	tr.MustAppend(Event{ID: EventID{P: 0, I: -1}, Kind: Internal, ND: TransientND})
+	tr.MustAppend(Event{ID: EventID{P: 0, I: -1}, Kind: Visible})
+	if vs := CheckSaveWork(tr); len(vs) != 1 {
+		t.Errorf("CheckSaveWork = %v", vs)
+	}
+	hb := NewHB(tr)
+	if !hb.HappensBefore(EventID{P: 0, I: 0}, EventID{P: 0, I: 1}) {
+		t.Error("program order lost through the façade")
+	}
+}
+
+func TestPublicAPIDangerousPaths(t *testing.T) {
+	m := NewMachine(4)
+	m.AddEdge(MachineEdge{From: 0, To: 1, ND: TransientND})
+	m.AddEdge(MachineEdge{From: 0, To: 3, ND: TransientND})
+	m.AddEdge(MachineEdge{From: 1, To: 2})
+	m.MarkCrash(2)
+	c := m.DangerousPaths()
+	if c.CommitUnsafeAt(0) {
+		t.Error("transient escape should keep state 0 safe")
+	}
+	if !c.CommitUnsafeAt(1) {
+		t.Error("state 1 is doomed")
+	}
+}
+
+func TestPublicAPIProtocolSpace(t *testing.T) {
+	if len(ProtocolSpace()) < len(MeasuredProtocols()) {
+		t.Error("space must include the measured protocols")
+	}
+	p, err := ProtocolByName("CAND")
+	if err != nil || p.Name != "CAND" {
+		t.Errorf("ProtocolByName: %v %v", p, err)
+	}
+	var buf bytes.Buffer
+	PrintProtocolSpace(&buf)
+	if !strings.Contains(buf.String(), "HYPERVISOR") {
+		t.Error("space print incomplete")
+	}
+}
+
+func TestPublicAPIFaultTimeline(t *testing.T) {
+	ft := FaultTimeline{Commits: []int{7}, LastTransientND: 2, Activation: 5, Crash: 9}
+	if !ft.ViolatesLoseWork() || !ft.CommitAfterActivation() || ft.RecoverySucceeds() {
+		t.Error("timeline checks wrong through the façade")
+	}
+}
+
+func TestMediaOrdering(t *testing.T) {
+	if Rio.CommitCost(4096) >= Disk.CommitCost(4096) {
+		t.Error("Rio must be cheaper than disk")
+	}
+	if Disk.LogCost(64) >= Disk.CommitCost(64) {
+		t.Error("a log append must be cheaper than a checkpoint sync")
+	}
+}
+
+func TestPublicAPIOrphansAndMultiProcess(t *testing.T) {
+	// Figure 2 through the façade: B's uncommitted ND flows to A's commit.
+	tr := NewTrace(2)
+	tr.MustAppend(Event{ID: EventID{P: 1, I: -1}, Kind: Internal, ND: TransientND})
+	tr.MustAppend(Event{ID: EventID{P: 1, I: -1}, Kind: Send, Msg: 1, Peer: 0})
+	tr.MustAppend(Event{ID: EventID{P: 0, I: -1}, Kind: Receive, Msg: 1, Peer: 1})
+	tr.MustAppend(Event{ID: EventID{P: 0, I: -1}, Kind: Commit})
+	orphans := FindOrphans(tr, 1, 2)
+	if len(orphans) != 1 || orphans[0].Process != 0 {
+		t.Errorf("orphans = %v", orphans)
+	}
+
+	m := NewMachine(4)
+	m.AddEdge(MachineEdge{From: 0, To: 1, ND: TransientND, Msg: 1})
+	m.AddEdge(MachineEdge{From: 0, To: 3, ND: TransientND, Msg: 1})
+	m.AddEdge(MachineEdge{From: 1, To: 2})
+	m.MarkCrash(2)
+	c, err := MultiProcessDangerousPaths(m, tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sender never committed, so the receive is transient: state 0
+	// keeps its escape.
+	if c.CommitUnsafeAt(0) {
+		t.Error("uncommitted sender should leave the receive transient")
+	}
+}
+
+func TestPublicAPIFaultKinds(t *testing.T) {
+	kinds := []FaultKind{StackBitFlip, HeapBitFlip, DestReg, InitFault, DeleteBranch, DeleteInstr, OffByOne}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k.String()] {
+			t.Errorf("duplicate fault name %q", k)
+		}
+		seen[k.String()] = true
+	}
+}
+
+func TestPublicAPICheckerAndPartialState(t *testing.T) {
+	// The nvi editor implements both optional interfaces through the
+	// public types.
+	var _ Checker = (*checkedProg)(nil)
+	var _ PartialStater = (*checkedProg)(nil)
+}
+
+type checkedProg struct{ flipProg }
+
+func (c *checkedProg) CheckConsistency() error           { return nil }
+func (c *checkedProg) MarshalEssential() ([]byte, error) { return c.MarshalState() }
+func (c *checkedProg) UnmarshalEssential(d []byte) error { return c.UnmarshalState(d) }

@@ -1,0 +1,3 @@
+module failtrans
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package apputil holds helpers shared by the workload applications: a
+// compact binary state codec for checkpoint marshaling and the corruption
+// primitives the fault injector's seven fault types are built from.
+package apputil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Enc is an append-only binary encoder for checkpoint images.
+type Enc struct{ B []byte }
+
+// I64 appends an int64.
+func (e *Enc) I64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	e.B = append(e.B, b[:]...)
+}
+
+// Int appends an int.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float64.
+func (e *Enc) F64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], mathFloat64bits(v))
+	e.B = append(e.B, b[:]...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Bytes(v []byte) {
+	e.Int(len(v))
+	e.B = append(e.B, v...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(v string) { e.Bytes([]byte(v)) }
+
+// Bool appends a bool.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.B = append(e.B, 1)
+	} else {
+		e.B = append(e.B, 0)
+	}
+}
+
+// Dec decodes what Enc produced.
+type Dec struct {
+	B   []byte
+	pos int
+	Err error
+}
+
+func (d *Dec) need(n int) bool {
+	if d.Err != nil {
+		return false
+	}
+	if d.pos+n > len(d.B) {
+		d.Err = fmt.Errorf("apputil: decode overrun at byte %d (+%d of %d)", d.pos, n, len(d.B))
+		return false
+	}
+	return true
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(d.B[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// Int reads an int.
+func (d *Dec) Int() int { return int(d.I64()) }
+
+// F64 reads a float64.
+func (d *Dec) F64() float64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := mathFloat64frombits(binary.LittleEndian.Uint64(d.B[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (d *Dec) Bytes() []byte {
+	n := d.Int()
+	if n < 0 || !d.need(n) {
+		if d.Err == nil {
+			d.Err = fmt.Errorf("apputil: negative length %d", n)
+		}
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.B[d.pos:])
+	d.pos += n
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.Bytes()) }
+
+// Byte reads one raw byte.
+func (d *Dec) Byte() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.B[d.pos]
+	d.pos++
+	return v
+}
+
+// Bool reads a bool.
+func (d *Dec) Bool() bool {
+	if !d.need(1) {
+		return false
+	}
+	v := d.B[d.pos] != 0
+	d.pos++
+	return v
+}
+
+// FlipBit flips bit `bit` (mod the slice's size) in buf; no-op on empty
+// buffers. It is the corruption primitive behind the bit-flip fault types.
+func FlipBit(buf []byte, bit uint64) {
+	if len(buf) == 0 {
+		return
+	}
+	bit %= uint64(len(buf) * 8)
+	buf[bit/8] ^= 1 << (bit % 8)
+}
+
+// Checksum is the integrity checksum the applications' consistency checks
+// use (the paper's §2.6 mitigation: "compute a checksum over some data").
+func Checksum(bufs ...[]byte) uint32 {
+	h := crc32.NewIEEE()
+	for _, b := range bufs {
+		h.Write(b)
+	}
+	return h.Sum32()
+}
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,29 @@
+package apputil
+
+import "testing"
+
+// FuzzDecNoPanic: the decoder must reject arbitrary bytes gracefully (set
+// Err), never panic — checkpoint images can be corrupted by the faults
+// under study.
+func FuzzDecNoPanic(f *testing.F) {
+	var e Enc
+	e.Int(3)
+	e.Bytes([]byte("abc"))
+	e.F64(1.5)
+	e.Bool(true)
+	f.Add(e.B)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := Dec{B: data}
+		// Exercise every accessor in a fixed pattern; all must return
+		// zero values once Err is set.
+		_ = d.Int()
+		_ = d.Bytes()
+		_ = d.F64()
+		_ = d.Bool()
+		_ = d.Str()
+		_ = d.Byte()
+		_ = d.I64()
+	})
+}

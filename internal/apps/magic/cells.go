@@ -1,0 +1,220 @@
+package magic
+
+import (
+	"fmt"
+	"strconv"
+
+	"failtrans/internal/apps/apputil"
+)
+
+// Cell is a reusable layout definition — magic's hierarchy primitive. A
+// cell has its own layer tile sets; instances place it at an offset in the
+// top-level layout. One level of hierarchy is supported (cells cannot
+// contain instances), which covers the standard-cell usage pattern.
+type Cell struct {
+	Name   string
+	Layers []Layer
+}
+
+// Instance places a cell at an offset in the top-level layout.
+type Instance struct {
+	Cell   string
+	DX, DY int
+}
+
+func (l *Layout) cell(name string) *Cell {
+	for i := range l.Cells {
+		if l.Cells[i].Name == name {
+			return &l.Cells[i]
+		}
+	}
+	return nil
+}
+
+// cellLayer finds (or creates) a named layer within a cell, mirroring the
+// top-level layer names on demand.
+func (c *Cell) cellLayer(name string) *Layer {
+	for i := range c.Layers {
+		if c.Layers[i].Name == name {
+			return &c.Layers[i]
+		}
+	}
+	c.Layers = append(c.Layers, Layer{Name: name})
+	return &c.Layers[len(c.Layers)-1]
+}
+
+// Flatten returns every rectangle on the named layer in the flattened view:
+// the top-level tiles plus each instance's cell tiles translated by the
+// instance offset.
+func (l *Layout) Flatten(layerName string) []Rect {
+	var out []Rect
+	if top := l.layer(layerName); top != nil {
+		out = append(out, top.Rects...)
+	}
+	for _, inst := range l.Instances {
+		c := l.cell(inst.Cell)
+		if c == nil {
+			continue
+		}
+		for i := range c.Layers {
+			if c.Layers[i].Name != layerName {
+				continue
+			}
+			for _, r := range c.Layers[i].Rects {
+				out = append(out, Rect{r.X1 + inst.DX, r.Y1 + inst.DY, r.X2 + inst.DX, r.Y2 + inst.DY})
+			}
+		}
+	}
+	return out
+}
+
+// FlatDRC runs the min-spacing check over the flattened view of a layer,
+// catching violations between instances that per-cell checks cannot see.
+func (l *Layout) FlatDRC(layerName string) int {
+	rects := l.Flatten(layerName)
+	violations := 0
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			a, b := rects[i], rects[j]
+			if a.Intersects(b) {
+				violations++
+				continue
+			}
+			if s := a.Spacing(b); s > 0 && s < l.MinSpacing {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// FlatArea sums tile areas in the flattened view (overlaps counted twice,
+// as magic's raw area report does before extraction).
+func (l *Layout) FlatArea(layerName string) int {
+	area := 0
+	for _, r := range l.Flatten(layerName) {
+		area += r.Area()
+	}
+	return area
+}
+
+// applyCellCommand handles the hierarchy command subset:
+//
+//	defcell <name>          start (or reopen) a cell definition
+//	endcell                 return to top-level editing
+//	place <name> <dx> <dy>  instantiate a cell at an offset
+//	flatdrc <layer>         DRC over the flattened hierarchy (renders)
+//	flatarea <layer>        area over the flattened hierarchy (renders)
+//
+// It reports whether the command was one of these.
+func (l *Layout) applyCellCommand(fields []string) bool {
+	switch fields[0] {
+	case "defcell":
+		if len(fields) != 2 {
+			l.LastMsg = "?defcell <name>"
+			l.Phase = phaseRender
+			return true
+		}
+		if l.cell(fields[1]) == nil {
+			l.Cells = append(l.Cells, Cell{Name: fields[1]})
+		}
+		l.Editing = fields[1]
+		return true
+	case "endcell":
+		l.Editing = ""
+		return true
+	case "place":
+		if len(fields) != 4 {
+			l.LastMsg = "?place <cell> <dx> <dy>"
+			l.Phase = phaseRender
+			return true
+		}
+		if l.cell(fields[1]) == nil {
+			l.LastMsg = "?cell " + fields[1]
+			l.Phase = phaseRender
+			return true
+		}
+		dx, _ := strconv.Atoi(fields[2])
+		dy, _ := strconv.Atoi(fields[3])
+		l.Instances = append(l.Instances, Instance{Cell: fields[1], DX: dx, DY: dy})
+		return true
+	case "flatdrc":
+		v := l.FlatDRC(field(fields, 1))
+		l.LastMsg = fmt.Sprintf("flatdrc %s: %d violations", field(fields, 1), v)
+		l.Phase = phaseStamp
+		return true
+	case "flatarea":
+		l.LastMsg = fmt.Sprintf("flatarea %s: %d", field(fields, 1), l.FlatArea(field(fields, 1)))
+		l.Phase = phaseRender
+		return true
+	}
+	return false
+}
+
+// marshalCells serializes the hierarchy state.
+func (l *Layout) marshalCells(e *apputil.Enc) {
+	e.Int(len(l.Cells))
+	for _, c := range l.Cells {
+		e.Str(c.Name)
+		e.Int(len(c.Layers))
+		for _, layer := range c.Layers {
+			e.Str(layer.Name)
+			e.Int(layer.Area)
+			e.Int(len(layer.Rects))
+			for _, r := range layer.Rects {
+				e.Int(r.X1)
+				e.Int(r.Y1)
+				e.Int(r.X2)
+				e.Int(r.Y2)
+			}
+		}
+	}
+	e.Int(len(l.Instances))
+	for _, in := range l.Instances {
+		e.Str(in.Cell)
+		e.Int(in.DX)
+		e.Int(in.DY)
+	}
+	e.Str(l.Editing)
+}
+
+// unmarshalCells reverses marshalCells.
+func (l *Layout) unmarshalCells(d *apputil.Dec) error {
+	n := d.Int()
+	if n < 0 || n > 1<<16 {
+		return fmt.Errorf("magic: implausible cell count %d", n)
+	}
+	l.Cells = make([]Cell, 0, n)
+	for i := 0; i < n; i++ {
+		var c Cell
+		c.Name = d.Str()
+		ln := d.Int()
+		if ln < 0 || ln > 1<<16 {
+			return fmt.Errorf("magic: implausible cell layer count %d", ln)
+		}
+		for j := 0; j < ln; j++ {
+			var layer Layer
+			layer.Name = d.Str()
+			layer.Area = d.Int()
+			rn := d.Int()
+			if rn < 0 || rn > 1<<24 {
+				return fmt.Errorf("magic: implausible cell rect count %d", rn)
+			}
+			for k := 0; k < rn; k++ {
+				layer.Rects = append(layer.Rects, Rect{d.Int(), d.Int(), d.Int(), d.Int()})
+			}
+			c.Layers = append(c.Layers, layer)
+		}
+		l.Cells = append(l.Cells, c)
+	}
+	n = d.Int()
+	if n < 0 || n > 1<<20 {
+		return fmt.Errorf("magic: implausible instance count %d", n)
+	}
+	l.Instances = make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		l.Instances = append(l.Instances, Instance{Cell: d.Str(), DX: d.Int(), DY: d.Int()})
+	}
+	l.Editing = d.Str()
+	return d.Err
+}

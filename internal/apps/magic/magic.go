@@ -1,0 +1,536 @@
+// Package magic reimplements the paper's second workload: magic, the
+// Berkeley VLSI layout editor. It is a real (small) layout engine: named
+// layers hold sets of non-overlapping axis-aligned rectangles with true
+// rectangle algebra — painting subtracts overlaps before inserting, erasing
+// splits tiles into up to four fragments — plus area accounting, a
+// design-rule check (minimum spacing between tiles of a layer), and a box
+// query. A scripted command session (fixed-ND user input, one command per
+// second as in the paper's measurements) drives it; commands that redraw
+// the screen produce visible events, and "ts"/DRC commands read the clock
+// (transient ND).
+//
+// Fault points in the geometry kernel implement the seven Table 1 fault
+// types: a heap bit flip lands in a stored coordinate (latent until the
+// area consistency check), a deleted branch skips overlap subtraction (the
+// no-overlap invariant breaks, caught later), an off-by-one shifts a
+// fragment boundary, and so on.
+package magic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"failtrans/internal/apps/apputil"
+	"failtrans/internal/sim"
+)
+
+// Rect is a half-open axis-aligned rectangle [X1,X2) × [Y1,Y2).
+type Rect struct {
+	X1, Y1, X2, Y2 int
+}
+
+// Empty reports whether the rectangle has no area.
+func (r Rect) Empty() bool { return r.X1 >= r.X2 || r.Y1 >= r.Y2 }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.X2 - r.X1) * (r.Y2 - r.Y1)
+}
+
+// Intersects reports whether two rectangles overlap with positive area.
+func (r Rect) Intersects(o Rect) bool {
+	return r.X1 < o.X2 && o.X1 < r.X2 && r.Y1 < o.Y2 && o.Y1 < r.Y2
+}
+
+// Intersect returns the overlap of two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{max(r.X1, o.X1), max(r.Y1, o.Y1), min(r.X2, o.X2), min(r.Y2, o.Y2)}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Subtract returns the up-to-four fragments of r outside b.
+func (r Rect) Subtract(b Rect) []Rect {
+	if !r.Intersects(b) {
+		return []Rect{r}
+	}
+	var out []Rect
+	add := func(f Rect) {
+		if !f.Empty() {
+			out = append(out, f)
+		}
+	}
+	// Bands below and above b.
+	add(Rect{r.X1, r.Y1, r.X2, min(r.Y2, b.Y1)})
+	add(Rect{r.X1, max(r.Y1, b.Y2), r.X2, r.Y2})
+	// Side fragments within b's vertical span.
+	y1, y2 := max(r.Y1, b.Y1), min(r.Y2, b.Y2)
+	add(Rect{r.X1, y1, min(r.X2, b.X1), y2})
+	add(Rect{max(r.X1, b.X2), y1, r.X2, y2})
+	return out
+}
+
+// Spacing returns the L∞ gap between two disjoint rectangles (0 if they
+// touch or overlap).
+func (r Rect) Spacing(o Rect) int {
+	dx := 0
+	if r.X2 <= o.X1 {
+		dx = o.X1 - r.X2
+	} else if o.X2 <= r.X1 {
+		dx = r.X1 - o.X2
+	}
+	dy := 0
+	if r.Y2 <= o.Y1 {
+		dy = o.Y1 - r.Y2
+	} else if o.Y2 <= r.Y1 {
+		dy = r.Y1 - o.Y2
+	}
+	return max(dx, dy)
+}
+
+// Layer is one mask layer's tile set. Invariant: no two rects overlap, and
+// Area equals the sum of rect areas.
+type Layer struct {
+	Name  string
+	Rects []Rect
+	Area  int
+}
+
+// Phases of the command cycle.
+const (
+	phaseRead = iota
+	phaseApply
+	phaseRender
+	phaseStamp // reads the clock (transient ND)
+	phaseDone
+)
+
+// Layout is the magic application.
+type Layout struct {
+	Layers []Layer
+
+	// Hierarchy: reusable cell definitions and their placed instances;
+	// Editing names the cell currently being defined ("" = top level).
+	Cells     []Cell
+	Instances []Instance
+	Editing   string
+
+	Phase    int
+	Cmd      string
+	Commands int
+	// LastMsg is what the next render shows.
+	LastMsg string
+	// MinSpacing is the design rule for drc.
+	MinSpacing int
+
+	ThinkTime time.Duration
+	CmdCost   time.Duration
+
+	faultSalt   uint64
+	skipOverlap bool
+}
+
+// New returns a layout with the given layer names.
+func New(layerNames ...string) *Layout {
+	l := &Layout{ThinkTime: time.Second, CmdCost: 2 * time.Millisecond, MinSpacing: 2}
+	for _, n := range layerNames {
+		l.Layers = append(l.Layers, Layer{Name: n})
+	}
+	return l
+}
+
+// Script converts textual commands (one per line) into the input script.
+func Script(commands []string) [][]byte {
+	out := make([][]byte, 0, len(commands))
+	for _, c := range commands {
+		out = append(out, []byte(c))
+	}
+	return out
+}
+
+// Name implements sim.Program.
+func (l *Layout) Name() string { return "magic" }
+
+// Init implements sim.Program.
+func (l *Layout) Init(ctx *sim.Ctx) error { return nil }
+
+func (l *Layout) layer(name string) *Layer {
+	for i := range l.Layers {
+		if l.Layers[i].Name == name {
+			return &l.Layers[i]
+		}
+	}
+	return nil
+}
+
+// Paint adds r to the layer, subtracting it from existing tiles first so
+// the no-overlap invariant holds.
+func (l *Layout) Paint(ctx *sim.Ctx, layer *Layer, r Rect) {
+	r = l.injectGeometry(ctx, "magic.paint", r, layer)
+	if r.Empty() {
+		return
+	}
+	if !l.skipOverlap {
+		var kept []Rect
+		removed := 0
+		for _, t := range layer.Rects {
+			if t.Intersects(r) {
+				removed += t.Intersect(r).Area()
+				kept = append(kept, t.Subtract(r)...)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		layer.Rects = kept
+		layer.Area -= removed
+	}
+	layer.Rects = append(layer.Rects, r)
+	layer.Area += r.Area()
+}
+
+// Erase removes r's area from the layer.
+func (l *Layout) Erase(ctx *sim.Ctx, layer *Layer, r Rect) {
+	r = l.injectGeometry(ctx, "magic.erase", r, layer)
+	if r.Empty() {
+		return
+	}
+	var kept []Rect
+	removed := 0
+	for _, t := range layer.Rects {
+		if t.Intersects(r) {
+			removed += t.Intersect(r).Area()
+			kept = append(kept, t.Subtract(r)...)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	layer.Rects = kept
+	layer.Area -= removed
+}
+
+// DRC counts min-spacing violations on a layer.
+func (l *Layout) DRC(layer *Layer) int {
+	violations := 0
+	for i := 0; i < len(layer.Rects); i++ {
+		for j := i + 1; j < len(layer.Rects); j++ {
+			a, b := layer.Rects[i], layer.Rects[j]
+			if a.Intersects(b) {
+				violations++ // overlap is always a violation
+				continue
+			}
+			if s := a.Spacing(b); s > 0 && s < l.MinSpacing {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// BoxQuery returns the tiles of a layer intersecting r.
+func (l *Layout) BoxQuery(layer *Layer, r Rect) []Rect {
+	var out []Rect
+	for _, t := range layer.Rects {
+		if t.Intersects(r) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// check verifies the no-overlap and area invariants of every layer, in the
+// top level and in every cell definition.
+func (l *Layout) check(ctx *sim.Ctx) bool {
+	all := make([]*Layer, 0, len(l.Layers))
+	for li := range l.Layers {
+		all = append(all, &l.Layers[li])
+	}
+	for ci := range l.Cells {
+		for li := range l.Cells[ci].Layers {
+			all = append(all, &l.Cells[ci].Layers[li])
+		}
+	}
+	for _, layer := range all {
+		area := 0
+		for i, a := range layer.Rects {
+			if a.Empty() || a.X2 < a.X1 || a.Y2 < a.Y1 {
+				ctx.Crash(fmt.Sprintf("magic: layer %s tile %d degenerate %+v", layer.Name, i, a))
+				return false
+			}
+			area += a.Area()
+			for j := i + 1; j < len(layer.Rects); j++ {
+				if a.Intersects(layer.Rects[j]) {
+					ctx.Crash(fmt.Sprintf("magic: layer %s tiles %d,%d overlap", layer.Name, i, j))
+					return false
+				}
+			}
+		}
+		if area != layer.Area {
+			ctx.Crash(fmt.Sprintf("magic: layer %s area %d != accounted %d", layer.Name, area, layer.Area))
+			return false
+		}
+	}
+	return true
+}
+
+// Step implements sim.Program: read command → apply → (stamp) → render.
+func (l *Layout) Step(ctx *sim.Ctx) sim.Status {
+	switch l.Phase {
+	case phaseRead:
+		in, ok := ctx.Input()
+		if !ok {
+			l.Phase = phaseDone
+			return sim.Ready
+		}
+		l.Cmd = string(in)
+		l.Commands++
+		l.Phase = phaseApply
+		if l.ThinkTime > 0 {
+			ctx.Sleep(l.ThinkTime)
+			return sim.Sleeping
+		}
+		return sim.Ready
+	case phaseApply:
+		ctx.Compute(l.CmdCost)
+		l.apply(ctx)
+		return sim.Ready
+	case phaseStamp:
+		now := ctx.Now()
+		l.LastMsg += fmt.Sprintf(" @%dms", now/time.Millisecond)
+		l.Phase = phaseRender
+		return sim.Ready
+	case phaseRender:
+		ctx.Output(l.LastMsg)
+		l.Phase = phaseRead
+		return sim.Ready
+	default:
+		return sim.Done
+	}
+}
+
+// apply parses and executes one command. Command grammar:
+//
+//	paint <layer> <x> <y> <w> <h>
+//	erase <layer> <x> <y> <w> <h>
+//	box   <layer> <x> <y> <w> <h>   (query, renders)
+//	drc   <layer>                   (stamps the clock, renders)
+//	area  <layer>                   (renders)
+//	check                           (consistency check, silent)
+//	quit
+func (l *Layout) apply(ctx *sim.Ctx) {
+	l.Phase = phaseRead // commands that render override below
+	fields := strings.Fields(l.Cmd)
+	if len(fields) == 0 {
+		return
+	}
+	if l.applyCellCommand(fields) {
+		return
+	}
+	kind := ctx.Fault("magic.cmd")
+	if kind == sim.StackBitFlip && len(fields) > 1 {
+		// The parsed opcode byte flips in flight.
+		op := []byte(fields[0])
+		apputil.FlipBit(op, l.salt())
+		fields[0] = string(op)
+	}
+	switch fields[0] {
+	case "paint", "erase", "box":
+		if len(fields) != 6 {
+			l.LastMsg = "?syntax " + l.Cmd
+			l.Phase = phaseRender
+			return
+		}
+		var layer *Layer
+		if l.Editing != "" {
+			layer = l.cell(l.Editing).cellLayer(fields[1])
+		} else {
+			layer = l.layer(fields[1])
+		}
+		if layer == nil {
+			l.LastMsg = "?layer " + fields[1]
+			l.Phase = phaseRender
+			return
+		}
+		x, _ := strconv.Atoi(fields[2])
+		y, _ := strconv.Atoi(fields[3])
+		wd, _ := strconv.Atoi(fields[4])
+		h, _ := strconv.Atoi(fields[5])
+		r := Rect{x, y, x + wd, y + h}
+		switch fields[0] {
+		case "paint":
+			l.Paint(ctx, layer, r)
+		case "erase":
+			l.Erase(ctx, layer, r)
+		default:
+			hits := l.BoxQuery(layer, r)
+			l.LastMsg = fmt.Sprintf("box %s: %d tiles", layer.Name, len(hits))
+			l.Phase = phaseRender
+		}
+	case "drc":
+		layer := l.layer(field(fields, 1))
+		if layer == nil {
+			l.LastMsg = "?layer"
+			l.Phase = phaseRender
+			return
+		}
+		ctx.Compute(time.Duration(len(layer.Rects)) * 50 * time.Microsecond)
+		v := l.DRC(layer)
+		l.LastMsg = fmt.Sprintf("drc %s: %d violations", layer.Name, v)
+		l.Phase = phaseStamp
+	case "area":
+		layer := l.layer(field(fields, 1))
+		if layer == nil {
+			l.LastMsg = "?layer"
+			l.Phase = phaseRender
+			return
+		}
+		l.LastMsg = fmt.Sprintf("area %s: %d in %d tiles", layer.Name, layer.Area, len(layer.Rects))
+		l.Phase = phaseRender
+	case "check":
+		l.check(ctx)
+	case "quit":
+		l.Phase = phaseDone
+	default:
+		l.LastMsg = "?cmd " + fields[0]
+		l.Phase = phaseRender
+	}
+}
+
+func field(fields []string, i int) string {
+	if i < len(fields) {
+		return fields[i]
+	}
+	return ""
+}
+
+// injectGeometry applies the armed fault to a geometry operation.
+func (l *Layout) injectGeometry(ctx *sim.Ctx, site string, r Rect, layer *Layer) Rect {
+	switch ctx.Fault(site) {
+	case sim.HeapBitFlip:
+		// Corrupt a stored coordinate of an existing tile: latent until
+		// the next check/DRC-triggered invariant test.
+		if len(layer.Rects) > 0 {
+			s := l.salt()
+			t := &layer.Rects[int(s)%len(layer.Rects)]
+			switch s % 4 {
+			case 0:
+				t.X1 ^= 1 << (s % 8)
+			case 1:
+				t.Y1 ^= 1 << (s % 8)
+			case 2:
+				t.X2 ^= 1 << (s % 8)
+			default:
+				t.Y2 ^= 1 << (s % 8)
+			}
+		}
+	case sim.OffByOne:
+		r.X2++ // fragment boundary off by one (often silently wrong output)
+	case sim.DestReg:
+		// The computed X lands in the Y register and the buggy path
+		// skips normalization: the swapped tile goes straight into the
+		// database, breaking the no-overlap/area invariants.
+		bad := Rect{r.Y1, r.X1, r.Y2, r.X2}
+		layer.Rects = append(layer.Rects, bad)
+		return Rect{}
+	case sim.InitFault:
+		// The width is never initialized: a degenerate tile is
+		// inserted directly (the validation belonged to the skipped
+		// initialization path).
+		layer.Rects = append(layer.Rects, Rect{r.X1, r.Y1, r.X1, r.Y2})
+		return Rect{}
+	case sim.DeleteBranch:
+		l.skipOverlap = true // the overlap-subtraction branch is gone
+	case sim.DeleteInstr:
+		layer.Area += r.Area() // account the paint, skip the insert...
+		return Rect{}          // by returning an empty op after accounting
+	case sim.StackBitFlip:
+		r.X1 ^= 1 << (l.salt() % 16)
+	}
+	return r
+}
+
+func (l *Layout) salt() uint64 {
+	l.faultSalt = l.faultSalt*6364136223846793005 + 1442695040888963407
+	return l.faultSalt
+}
+
+// TotalTiles returns the tile count across layers (assertions).
+func (l *Layout) TotalTiles() int {
+	n := 0
+	for _, layer := range l.Layers {
+		n += len(layer.Rects)
+	}
+	return n
+}
+
+// MarshalState implements sim.Program.
+func (l *Layout) MarshalState() ([]byte, error) {
+	var e apputil.Enc
+	e.Int(len(l.Layers))
+	for _, layer := range l.Layers {
+		e.Str(layer.Name)
+		e.Int(layer.Area)
+		e.Int(len(layer.Rects))
+		for _, r := range layer.Rects {
+			e.Int(r.X1)
+			e.Int(r.Y1)
+			e.Int(r.X2)
+			e.Int(r.Y2)
+		}
+	}
+	e.Int(l.Phase)
+	e.Str(l.Cmd)
+	e.Int(l.Commands)
+	e.Str(l.LastMsg)
+	e.Int(l.MinSpacing)
+	e.I64(int64(l.ThinkTime))
+	e.I64(int64(l.CmdCost))
+	e.I64(int64(l.faultSalt))
+	e.Bool(l.skipOverlap)
+	l.marshalCells(&e)
+	return e.B, nil
+}
+
+// UnmarshalState implements sim.Program.
+func (l *Layout) UnmarshalState(data []byte) error {
+	d := apputil.Dec{B: data}
+	n := d.Int()
+	if n < 0 || n > 1<<16 {
+		return fmt.Errorf("magic: implausible layer count %d", n)
+	}
+	layers := make([]Layer, 0, n)
+	for i := 0; i < n; i++ {
+		var layer Layer
+		layer.Name = d.Str()
+		layer.Area = d.Int()
+		rn := d.Int()
+		if rn < 0 || rn > 1<<24 {
+			return fmt.Errorf("magic: implausible rect count %d", rn)
+		}
+		layer.Rects = make([]Rect, 0, rn)
+		for j := 0; j < rn; j++ {
+			layer.Rects = append(layer.Rects, Rect{d.Int(), d.Int(), d.Int(), d.Int()})
+		}
+		layers = append(layers, layer)
+	}
+	l.Layers = layers
+	l.Phase = d.Int()
+	l.Cmd = d.Str()
+	l.Commands = d.Int()
+	l.LastMsg = d.Str()
+	l.MinSpacing = d.Int()
+	l.ThinkTime = time.Duration(d.I64())
+	l.CmdCost = time.Duration(d.I64())
+	l.faultSalt = uint64(d.I64())
+	l.skipOverlap = d.Bool()
+	if err := l.unmarshalCells(&d); err != nil {
+		return err
+	}
+	return d.Err
+}

@@ -1,0 +1,178 @@
+package postgres
+
+import (
+	"fmt"
+
+	"failtrans/internal/apps/apputil"
+	"failtrans/internal/kernel"
+	"failtrans/internal/sim"
+)
+
+// Pool is the LRU buffer pool: it caches heap pages and moves them to and
+// from the table file with kernel syscalls (deterministic, so they may
+// batch within a step).
+type Pool struct {
+	Cap      int
+	FD       int64
+	NumPages uint32
+
+	pages map[uint32]*Page
+	lru   []uint32 // most recent last
+
+	// Misses / Evictions / Reads / Writes count I/O activity.
+	Misses    int64
+	Evictions int64
+}
+
+// NewPool returns a pool of the given capacity (pages).
+func NewPool(capacity int) *Pool {
+	return &Pool{Cap: capacity, pages: make(map[uint32]*Page)}
+}
+
+func (bp *Pool) touch(id uint32) {
+	for i, v := range bp.lru {
+		if v == id {
+			bp.lru = append(bp.lru[:i], bp.lru[i+1:]...)
+			break
+		}
+	}
+	bp.lru = append(bp.lru, id)
+}
+
+// Alloc formats a fresh page at the end of the file and caches it.
+func (bp *Pool) Alloc(ctx *sim.Ctx) (*Page, error) {
+	id := bp.NumPages
+	bp.NumPages++
+	p := NewPage(id)
+	p.Dirty = true
+	if err := bp.install(ctx, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Get returns page id, reading it from disk on a miss. Pages read from
+// disk have their checksums verified; a mismatch crashes the process (the
+// storage engine's fail-fast detection).
+func (bp *Pool) Get(ctx *sim.Ctx, id uint32) (*Page, error) {
+	if p, ok := bp.pages[id]; ok {
+		bp.touch(id)
+		return p, nil
+	}
+	bp.Misses++
+	if _, err := ctx.Syscall("lseek", kernel.I64(bp.FD), kernel.I64(int64(id)*PageSize)); err != nil {
+		return nil, err
+	}
+	ret, err := ctx.Syscall("read", kernel.I64(bp.FD), kernel.I64(PageSize))
+	if err != nil {
+		return nil, err
+	}
+	if len(ret[0]) != PageSize {
+		return nil, fmt.Errorf("postgres: short page read (%d bytes) for page %d", len(ret[0]), id)
+	}
+	p := &Page{}
+	copy(p.Data[:], ret[0])
+	if !p.VerifyCRC() || p.ID() != id {
+		ctx.Crash(fmt.Sprintf("postgres: page %d failed checksum on read", id))
+		return nil, fmt.Errorf("postgres: page %d corrupt", id)
+	}
+	if err := bp.install(ctx, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// install caches p, evicting (with write-back) if full.
+func (bp *Pool) install(ctx *sim.Ctx, p *Page) error {
+	for len(bp.pages) >= bp.Cap {
+		victim := bp.lru[0]
+		bp.lru = bp.lru[1:]
+		vp := bp.pages[victim]
+		delete(bp.pages, victim)
+		bp.Evictions++
+		if vp.Dirty {
+			if err := bp.writeBack(ctx, vp); err != nil {
+				return err
+			}
+		}
+	}
+	bp.pages[p.ID()] = p
+	bp.touch(p.ID())
+	return nil
+}
+
+func (bp *Pool) writeBack(ctx *sim.Ctx, p *Page) error {
+	if _, err := ctx.Syscall("lseek", kernel.I64(bp.FD), kernel.I64(int64(p.ID())*PageSize)); err != nil {
+		return err
+	}
+	if _, err := ctx.Syscall("write", kernel.I64(bp.FD), p.Data[:]); err != nil {
+		return err
+	}
+	p.Dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty cached page.
+func (bp *Pool) FlushAll(ctx *sim.Ctx) error {
+	for _, id := range append([]uint32(nil), bp.lru...) {
+		p := bp.pages[id]
+		if p != nil && p.Dirty {
+			if err := bp.writeBack(ctx, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCached verifies the checksums of every cached page.
+func (bp *Pool) CheckCached() error {
+	for id, p := range bp.pages {
+		if !p.VerifyCRC() {
+			return fmt.Errorf("postgres: cached page %d checksum mismatch", id)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes pool state including cached page images.
+func (bp *Pool) Marshal(e *apputil.Enc) {
+	e.Int(bp.Cap)
+	e.I64(bp.FD)
+	e.I64(int64(bp.NumPages))
+	e.Int(len(bp.lru))
+	for _, id := range bp.lru {
+		e.I64(int64(id))
+		p := bp.pages[id]
+		e.Bool(p.Dirty)
+		e.Bytes(p.Data[:])
+	}
+}
+
+// UnmarshalPool reverses Marshal.
+func UnmarshalPool(d *apputil.Dec) (*Pool, error) {
+	bp := &Pool{pages: make(map[uint32]*Page)}
+	bp.Cap = d.Int()
+	bp.FD = d.I64()
+	bp.NumPages = uint32(d.I64())
+	n := d.Int()
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("postgres: implausible cached page count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		id := uint32(d.I64())
+		dirty := d.Bool()
+		img := d.Bytes()
+		if d.Err != nil {
+			return nil, d.Err
+		}
+		if len(img) != PageSize {
+			return nil, fmt.Errorf("postgres: cached page %d has %d bytes", id, len(img))
+		}
+		p := &Page{Dirty: dirty}
+		copy(p.Data[:], img)
+		bp.pages[id] = p
+		bp.lru = append(bp.lru, id)
+	}
+	return bp, d.Err
+}

@@ -1,0 +1,558 @@
+// Package dc reimplements Discount Checking (Lowell & Chen, CSE-TR-410-99),
+// the transparent recovery system the paper's evaluation runs on: per-
+// process full-state checkpoints held in a Vista persistent segment over
+// reliable memory (or synchronously written to disk, the DC-disk variant),
+// interception of every non-deterministic, visible and send event, pluggable
+// Save-work commit policies, non-determinism logging, two-phase coordinated
+// commits, and rollback with constrained re-execution after a failure.
+//
+// DC attaches to a sim.World as its Recovery implementation. Commits
+// serialize the process's checkpoint image into its segment with page-
+// granularity diffing (the analogue of copy-on-write: untouched pages cost
+// nothing), charge the commit's virtual-time cost from the configured
+// stable-storage medium, and release the process's retained messages.
+// Recovery restores the last committed image, re-queues or log-replays
+// messages, and replays logged non-deterministic results until the log is
+// exhausted, after which execution continues live.
+package dc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"failtrans/internal/event"
+	"failtrans/internal/protocol"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+	"failtrans/internal/vista"
+)
+
+// registerFileSize is the pseudo register-file blob saved with each commit.
+const registerFileSize = 64
+
+// Stats aggregates what DC did during a run.
+type Stats struct {
+	// Checkpoints counts commits per process.
+	Checkpoints []int
+	// CommitBytes is the total dirty payload written by commits.
+	CommitBytes int64
+	// CommitTime is the virtual time spent committing.
+	CommitTime time.Duration
+	// LogRecords / LogBytes / LogTime account the ND log writes.
+	LogRecords int64
+	LogBytes   int64
+	LogTime    time.Duration
+	// Recoveries counts rollbacks performed.
+	Recoveries int
+	// TwoPhaseRounds counts coordinated-commit rounds.
+	TwoPhaseRounds int
+}
+
+// TotalCheckpoints sums commits across processes.
+func (s *Stats) TotalCheckpoints() int {
+	n := 0
+	for _, c := range s.Checkpoints {
+		n += c
+	}
+	return n
+}
+
+type logRec struct {
+	label string
+	val   []byte
+	// pos is the event's position relative to the process's last commit
+	// (its receive sequence number). Replay supplies the record only
+	// when the re-execution reaches the same position, preserving the
+	// original interleaving of consumption with computation.
+	pos int
+}
+
+// DC is one Discount Checking instance governing every process of a world.
+type DC struct {
+	World  *sim.World
+	Policy protocol.Policy
+	Medium stablestore.Medium
+
+	// PageSize configures the Vista segments' trap granularity.
+	PageSize int
+
+	segs    []*vista.Segment
+	ndSince []bool
+	// deps[p][q] = q's commit epoch when p acquired a dependence on q's
+	// then-uncommitted non-determinism; stale entries (q committed
+	// since) are pruned at coordination time.
+	deps    []map[int]int
+	epoch   []int
+	msgDeps map[int64]map[int]int
+
+	ndLog     [][]logRec
+	watermark []int
+	replaying []bool
+	cursor    []int
+	// stepsBase anchors relative event positions: the process's Steps
+	// counter just after its last commit (or restore point).
+	stepsBase []int
+	// flushed counts how many log records have reached stable storage
+	// (== len(ndLog) except under asynchronous logging, where the tail
+	// is volatile and is lost in a crash).
+	flushed []int
+
+	// pendingCommit defers commit-after-event to the end of the step.
+	pendingCommit []string
+
+	registers []byte
+
+	// CommitHook, if set, is called after every commit (fault studies
+	// record commit positions through it).
+	CommitHook func(p *sim.Proc, label string)
+	// RecoveryHook, if set, is called after every successful rollback.
+	RecoveryHook func(p *sim.Proc, reason string)
+	// DisableRecovery leaves crashed processes dead (the fault studies
+	// decide recovery outcomes analytically and per-run).
+	DisableRecovery bool
+	// CheckBeforeCommit runs the program's CheckConsistency (when it
+	// implements sim.Checker) before every commit, crashing instead of
+	// committing corrupt state — the paper's §2.6 mitigation for
+	// Lose-work violations.
+	CheckBeforeCommit bool
+	// EssentialOnly commits only the application's essential state (for
+	// Programs implementing sim.PartialState); derived state is
+	// recomputed during recovery — the paper's §2.6 "reduce the
+	// comprehensiveness of the state saved" mitigation.
+	EssentialOnly bool
+	// ExpandResourcesOnCrash calls the hook after each rollback — the
+	// paper's §2.6 "make some fixed non-deterministic events into
+	// transient ones by increasing disk space or other application
+	// resource limits after a failure". Wire it to
+	// kernel.ExpandResources to let re-execution past a resource-
+	// exhaustion crash.
+	ExpandResourcesOnCrash func(p *sim.Proc)
+	// ChecksFailed counts commits refused by a failed consistency check.
+	ChecksFailed int
+
+	Stats Stats
+}
+
+// New builds a DC for w with the given policy and commit medium and
+// attaches it as the world's recovery layer.
+func New(w *sim.World, pol protocol.Policy, medium stablestore.Medium) *DC {
+	n := len(w.Procs)
+	d := &DC{
+		World:         w,
+		Policy:        pol,
+		Medium:        medium,
+		PageSize:      vista.DefaultPageSize,
+		segs:          make([]*vista.Segment, n),
+		ndSince:       make([]bool, n),
+		deps:          make([]map[int]int, n),
+		epoch:         make([]int, n),
+		msgDeps:       make(map[int64]map[int]int),
+		ndLog:         make([][]logRec, n),
+		watermark:     make([]int, n),
+		replaying:     make([]bool, n),
+		cursor:        make([]int, n),
+		stepsBase:     make([]int, n),
+		flushed:       make([]int, n),
+		pendingCommit: make([]string, n),
+		registers:     make([]byte, registerFileSize),
+	}
+	d.Stats.Checkpoints = make([]int, n)
+	for i := range d.deps {
+		d.deps[i] = make(map[int]int)
+	}
+	w.Recovery = d
+	return d
+}
+
+// Attach initializes all programs and takes the initial checkpoint of every
+// process — the theory's standing assumption that "the initial state of any
+// application is always committed". Call it before World.Run.
+func (d *DC) Attach() error {
+	if err := d.World.Init(); err != nil {
+		return err
+	}
+	for _, p := range d.World.Procs {
+		if err := d.commitOne(p, "initial"); err != nil {
+			return err
+		}
+	}
+	// The initial commit is part of setup, not of the measured run.
+	d.Stats = Stats{Checkpoints: make([]int, len(d.World.Procs))}
+	return nil
+}
+
+func (d *DC) seg(i int) *vista.Segment {
+	if d.segs[i] == nil {
+		d.segs[i] = vista.NewSegment(0, d.PageSize)
+	}
+	return d.segs[i]
+}
+
+// errCheckFailed marks a commit refused by a pre-commit consistency check;
+// the process crashes instead of committing corrupt state.
+var errCheckFailed = errors.New("dc: pre-commit consistency check failed")
+
+// commitOne checkpoints a single process.
+func (d *DC) commitOne(p *sim.Proc, label string) error {
+	if d.CheckBeforeCommit {
+		if c, ok := p.Prog.(sim.Checker); ok {
+			d.World.AddTime(p, 20*time.Microsecond)
+			if err := c.CheckConsistency(); err != nil {
+				d.ChecksFailed++
+				p.Ctx().Crash(err.Error())
+				return errCheckFailed
+			}
+		}
+	}
+	if d.Policy.LogAsync {
+		d.flushLog(p)
+	}
+	img, err := p.CheckpointImage(d.EssentialOnly)
+	if err != nil {
+		return fmt.Errorf("dc: commit %s: %w", p.Prog.Name(), err)
+	}
+	seg := d.seg(p.Index)
+	seg.SetContents(img)
+	st := seg.Commit(d.registers)
+	cost := d.Medium.CommitCost(st.Bytes)
+	d.World.AddTime(p, cost)
+	d.Stats.Checkpoints[p.Index]++
+	d.Stats.CommitBytes += int64(st.Bytes)
+	d.Stats.CommitTime += cost
+	d.World.RecordCommit(p, label)
+	d.World.CommitPoint(p)
+	d.ndSince[p.Index] = false
+	d.epoch[p.Index]++
+	if d.replaying[p.Index] {
+		d.watermark[p.Index] = d.cursor[p.Index]
+	} else {
+		d.watermark[p.Index] = len(d.ndLog[p.Index])
+	}
+	d.stepsBase[p.Index] = p.Steps
+	if d.CommitHook != nil {
+		d.CommitHook(p, label)
+	}
+	return nil
+}
+
+// commitCoordinated runs a two-phase commit over the given set. The
+// triggering process pays the coordination round trips; every member pays
+// its own commit.
+func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label string) {
+	d.Stats.TwoPhaseRounds++
+	d.World.AddTime(trigger, 2*d.World.Latency) // prepare + commit rounds
+	for _, q := range members {
+		err := d.commitOne(q, label)
+		if err != nil && !errors.Is(err, errCheckFailed) {
+			// A process whose state cannot be serialized cannot be
+			// made recoverable; surface loudly.
+			panic(err)
+		}
+		if q != trigger {
+			d.World.Delay(q, d.Medium.CommitCost(0))
+		}
+	}
+}
+
+// dependentSet returns the processes whose uncommitted non-determinism p
+// causally depends on (including p itself when it has uncommitted ND),
+// pruning satisfied dependencies.
+func (d *DC) dependentSet(p *sim.Proc) []*sim.Proc {
+	var out []*sim.Proc
+	if d.ndSince[p.Index] {
+		out = append(out, p)
+	}
+	for q, ep := range d.deps[p.Index] {
+		if d.epoch[q] > ep {
+			delete(d.deps[p.Index], q) // q committed since: satisfied
+			continue
+		}
+		if q != p.Index {
+			out = append(out, d.World.Procs[q])
+		}
+	}
+	return out
+}
+
+// flushLog forces the volatile log tail to stable storage as one
+// sequential write, after which the retained messages it covers need no
+// separate redelivery buffer.
+func (d *DC) flushLog(p *sim.Proc) {
+	i := p.Index
+	pending := d.ndLog[i][d.flushed[i]:]
+	if len(pending) == 0 {
+		return
+	}
+	bytes := 0
+	for _, rec := range pending {
+		bytes += len(rec.val)
+	}
+	cost := d.Medium.LogCost(bytes)
+	d.World.AddTime(p, cost)
+	d.Stats.LogTime += cost
+	d.flushed[i] = len(d.ndLog[i])
+	d.World.DropRetained(p)
+}
+
+// BeforeEvent implements sim.Recovery: the commit-prior-to family.
+func (d *DC) BeforeEvent(p *sim.Proc, kind event.Kind, nd event.NDClass, label string) {
+	pol := d.Policy
+	// Asynchronous logging must force its buffered records before any
+	// event whose effects can escape the process: a visible event (the
+	// Save-work flush of Optimistic Logging/Manetho) or a send (so no
+	// receiver depends on a log record that a crash could lose — our
+	// recovery performs no cascading rollbacks).
+	if pol.LogAsync && (kind == event.Visible || kind == event.Send) {
+		d.flushLog(p)
+	}
+	switch kind {
+	case event.Visible:
+		switch pol.TwoPhase {
+		case protocol.AllProcesses:
+			if pol.OnlyIfNDSinceCommit && !d.anyND() {
+				return
+			}
+			d.commitCoordinated(p, d.World.Procs, "2pc-visible")
+		case protocol.DependentProcesses:
+			set := d.dependentSet(p)
+			if len(set) == 0 {
+				return
+			}
+			d.commitCoordinated(p, set, "2pc-visible")
+		default:
+			if pol.CommitBeforeVisible && (!pol.OnlyIfNDSinceCommit || d.ndSince[p.Index]) {
+				d.mustCommit(p, "before-visible")
+			}
+		}
+	case event.Send:
+		if pol.TwoPhase == protocol.NoTwoPhase && pol.CommitBeforeSend &&
+			(!pol.OnlyIfNDSinceCommit || d.ndSince[p.Index]) {
+			d.mustCommit(p, "before-send")
+		}
+	}
+}
+
+func (d *DC) anyND() bool {
+	for _, nd := range d.ndSince {
+		if nd {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *DC) mustCommit(p *sim.Proc, label string) {
+	err := d.commitOne(p, label)
+	if err == nil || errors.Is(err, errCheckFailed) {
+		return // a refused commit crashes the process; recovery follows
+	}
+	panic(err)
+}
+
+// AfterEvent implements sim.Recovery: dependency tracking and the
+// commit-after family.
+func (d *DC) AfterEvent(p *sim.Proc, ev event.Event) {
+	switch ev.Kind {
+	case event.Send:
+		// Piggyback p's uncommitted-ND dependency snapshot on the
+		// message (out of band; a real system stamps the packet).
+		snap := make(map[int]int, len(d.deps[p.Index])+1)
+		for q, ep := range d.deps[p.Index] {
+			if d.epoch[q] == ep {
+				snap[q] = ep
+			}
+		}
+		if d.ndSince[p.Index] {
+			snap[p.Index] = d.epoch[p.Index]
+		}
+		if len(snap) > 0 {
+			d.msgDeps[ev.Msg] = snap
+		}
+	case event.Receive:
+		if snap, ok := d.msgDeps[ev.Msg]; ok {
+			for q, ep := range snap {
+				if d.epoch[q] == ep && q != p.Index {
+					d.deps[p.Index][q] = ep
+				}
+			}
+		}
+	}
+	if ev.EffectivelyND() {
+		d.ndSince[p.Index] = true
+	}
+	// Replay missed its due record: the re-execution ran past the
+	// position where the original consumed a logged event.
+	if i := p.Index; d.replaying[i] && d.cursor[i] < len(d.ndLog[i]) &&
+		p.Steps-d.stepsBase[i] > d.ndLog[i][d.cursor[i]].pos {
+		d.divergeLog(p)
+	}
+	// Commits triggered by an event that already executed are deferred
+	// to the end of the step so the checkpoint image includes the state
+	// the program derives from the event's result (in real DC the value
+	// is in the committed address space; here it reaches state only when
+	// the step's code runs).
+	if d.Policy.CommitEveryEvent {
+		d.pendingCommit[p.Index] = "every-event"
+		return
+	}
+	if d.Policy.CommitAfterND && ev.EffectivelyND() {
+		d.pendingCommit[p.Index] = "after-nd"
+	}
+}
+
+// EndStep implements sim.Recovery: execute a deferred commit-after.
+func (d *DC) EndStep(p *sim.Proc) {
+	if label := d.pendingCommit[p.Index]; label != "" {
+		d.pendingCommit[p.Index] = ""
+		d.mustCommit(p, label)
+	}
+}
+
+// SupplyND implements sim.Recovery: constrained re-execution from the ND
+// log. Each record is due at the event position (relative to the last
+// commit) where the original run consumed it; earlier requests execute
+// live, which reproduces the original interleaving of consumption with
+// computation. A mismatch at the due position means the re-execution
+// diverged at an unlogged transient event; the stale tail is discarded,
+// with any unconsumed logged receives re-queued as live messages so they
+// are not lost.
+func (d *DC) SupplyND(p *sim.Proc, label string) ([]byte, bool) {
+	i := p.Index
+	if !d.replaying[i] {
+		return nil, false
+	}
+	if d.cursor[i] >= len(d.ndLog[i]) {
+		d.replaying[i] = false
+		return nil, false
+	}
+	rec := d.ndLog[i][d.cursor[i]]
+	rel := p.Steps - d.stepsBase[i]
+	if rel < rec.pos {
+		return nil, false // not due yet: execute live
+	}
+	if rel > rec.pos || rec.label != label {
+		d.divergeLog(p)
+		return nil, false
+	}
+	d.cursor[i]++
+	if d.cursor[i] >= len(d.ndLog[i]) {
+		d.replaying[i] = false
+	}
+	return rec.val, true
+}
+
+// divergeLog truncates the unreplayed log tail after a divergence,
+// re-queueing logged-but-unreplayed receives into the inbox.
+func (d *DC) divergeLog(p *sim.Proc) {
+	i := p.Index
+	for _, rec := range d.ndLog[i][d.cursor[i]:] {
+		if rec.label == "recv" {
+			d.World.RequeueLogged(p, rec.val)
+		}
+	}
+	d.ndLog[i] = d.ndLog[i][:d.cursor[i]]
+	d.replaying[i] = false
+}
+
+// OnBlocked implements sim.Recovery: when a replaying process blocks on
+// messages, either its next logged record is due now (wake it so SupplyND
+// can deliver) or the re-execution diverged (resolve by flushing logged
+// receives back into the inbox).
+func (d *DC) OnBlocked(p *sim.Proc) bool {
+	i := p.Index
+	if !d.replaying[i] || d.cursor[i] >= len(d.ndLog[i]) {
+		return false
+	}
+	rec := d.ndLog[i][d.cursor[i]]
+	rel := p.Steps - d.stepsBase[i]
+	if rel >= rec.pos && rec.label == "recv" {
+		return true
+	}
+	// Blocked before the due position, or the due record is not a
+	// receive while the process wants one: divergence.
+	d.divergeLog(p)
+	return false
+}
+
+// RecordND implements sim.Recovery: log the ND value if the policy asks,
+// charging the synchronous log-force cost.
+func (d *DC) RecordND(p *sim.Proc, label string, val []byte) bool {
+	if !d.Policy.LogsLabel(label) {
+		return false
+	}
+	i := p.Index
+	d.ndLog[i] = append(d.ndLog[i], logRec{
+		label: label,
+		val:   append([]byte(nil), val...),
+		pos:   p.Steps - d.stepsBase[i],
+	})
+	d.Stats.LogRecords++
+	d.Stats.LogBytes += int64(len(val))
+	if d.Policy.LogAsync {
+		// Buffered: the write is a memory copy; the force happens at
+		// the next flush point.
+		return true
+	}
+	cost := d.Medium.LogCost(len(val))
+	d.World.AddTime(p, cost)
+	d.Stats.LogTime += cost
+	d.flushed[i] = len(d.ndLog[i])
+	return true
+}
+
+// OnCrash implements sim.Recovery: roll the process back to its last
+// committed state and arm constrained re-execution.
+func (d *DC) OnCrash(p *sim.Proc, reason string) bool {
+	if d.DisableRecovery {
+		return false
+	}
+	if err := d.Rollback(p); err != nil {
+		return false
+	}
+	if d.ExpandResourcesOnCrash != nil {
+		d.ExpandResourcesOnCrash(p)
+	}
+	if d.RecoveryHook != nil {
+		d.RecoveryHook(p, reason)
+	}
+	return true
+}
+
+// Checkpoint forces an immediate commit of p outside any protocol rule —
+// for applications that want explicit commit points in addition to the
+// policy's.
+func (d *DC) Checkpoint(p *sim.Proc) error { return d.commitOne(p, "explicit") }
+
+// Rollback restores p to its last committed state: reload the segment
+// image, rebuild session and kernel state, restore or log-replay messages.
+func (d *DC) Rollback(p *sim.Proc) error {
+	i := p.Index
+	seg := d.seg(i)
+	seg.Rollback()
+	img := seg.Contents()
+	if err := p.RestoreCheckpointImage(img); err != nil {
+		return fmt.Errorf("dc: rollback %s: %w", p.Prog.Name(), err)
+	}
+	// A crash loses the volatile tail of an asynchronous log; the
+	// re-execution runs those events live (their messages are still in
+	// the retention buffer).
+	if d.flushed[i] < len(d.ndLog[i]) {
+		d.ndLog[i] = d.ndLog[i][:d.flushed[i]]
+	}
+	if d.Policy.LogsLabel("recv") && !d.Policy.LogAsync {
+		// Consumed messages live in the log past the watermark; replay
+		// supplies them, so retention is dropped.
+		d.World.CommitPoint(p)
+	} else {
+		d.World.RequeueRetained(p)
+	}
+	d.cursor[i] = d.watermark[i]
+	d.replaying[i] = d.cursor[i] < len(d.ndLog[i])
+	d.stepsBase[i] = p.Steps // restore point == last commit position
+	d.ndSince[i] = false
+	d.pendingCommit[i] = "" // a commit deferred by the crashed step is void
+	d.World.AddTime(p, d.Medium.CommitCost(len(img)))
+	d.Stats.Recoveries++
+	return nil
+}

@@ -1,0 +1,55 @@
+package event
+
+// VC is a vector clock: VC[p] counts the events of process p known to have
+// happened at or before the clock's owner. Vector clocks characterize
+// happens-before exactly: for events a, b with clocks va, vb,
+// a happens-before b iff va.Before(vb).
+type VC []int
+
+// NewVC returns a zeroed vector clock for n processes.
+func NewVC(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of the clock.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Merge sets v to the component-wise maximum of v and o.
+func (v VC) Merge(o VC) {
+	for i := range v {
+		if i < len(o) && o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// LE reports whether v ≤ o component-wise.
+func (v VC) LE(o VC) bool {
+	for i := range v {
+		ov := 0
+		if i < len(o) {
+			ov = o[i]
+		}
+		if v[i] > ov {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether v happens-before o: v ≤ o and v ≠ o.
+func (v VC) Before(o VC) bool {
+	return v.LE(o) && !o.LE(v)
+}
+
+// Concurrent reports whether neither clock happens-before the other.
+func (v VC) Concurrent(o VC) bool {
+	return !v.LE(o) && !o.LE(v)
+}
+
+// Equal reports component-wise equality.
+func (v VC) Equal(o VC) bool {
+	return v.LE(o) && o.LE(v)
+}

@@ -1,0 +1,154 @@
+// Package event defines the computation model of Lowell, Chandra and Chen's
+// OSDI 2000 paper "Exploring Failure Transparency and the Limits of Generic
+// Recovery": computations are sets of processes modeled as state machines,
+// and every state transition a process executes is an Event.
+//
+// Events carry a Kind (what the transition does externally: nothing, visible
+// output, a message send or receive, a commit, a crash) and an NDClass
+// (whether the transition is deterministic, transient non-deterministic, or
+// fixed non-deterministic). The split mirrors the paper: non-determinism is
+// orthogonal to visibility — a message receive is both a Receive and
+// (usually) non-deterministic, while a gettimeofday call is internal but
+// transient-ND.
+//
+// The package also provides Lamport's happens-before relation over recorded
+// Traces, computed with vector clocks. Following the paper, happens-before
+// is used both as an ordering constraint and as the approximation of
+// causality ("causally precedes").
+package event
+
+import "fmt"
+
+// Kind classifies what an event does beyond changing local process state.
+type Kind uint8
+
+const (
+	// Internal events change only local process state.
+	Internal Kind = iota
+	// Visible events have an effect on the user (the paper's "output
+	// events"). Systems providing failure transparency must never undo
+	// them.
+	Visible
+	// Send events transmit a message to another process.
+	Send
+	// Receive events consume a message from another process.
+	Receive
+	// Commit events preserve the executing process's state so it can be
+	// restored after a failure (a checkpoint, an ended transaction, or a
+	// state-update message to a backup).
+	Commit
+	// Crash events transition the process into a state from which it
+	// cannot continue execution; they model the eventual crash of a
+	// propagation failure.
+	Crash
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case Visible:
+		return "visible"
+	case Send:
+		return "send"
+	case Receive:
+		return "receive"
+	case Commit:
+		return "commit"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NDClass classifies an event's determinism. The distinction between
+// transient and fixed non-determinism is central to the Lose-work theorem:
+// only transient ND events can rescue a recovery from re-executing into the
+// same crash.
+type NDClass uint8
+
+const (
+	// Deterministic events have exactly one possible result.
+	Deterministic NDClass = iota
+	// TransientND events can have a different result before and after a
+	// failure: scheduling decisions, signals, message ordering, the
+	// timing of user input, gettimeofday.
+	TransientND
+	// FixedND events are non-deterministic in the Save-work sense but
+	// are likely to repeat the same result after a failure, so recovery
+	// cannot depend on them changing: user input values, disk-fullness
+	// checks, open-file-table capacity.
+	FixedND
+)
+
+// String returns the lower-case name of the class.
+func (c NDClass) String() string {
+	switch c {
+	case Deterministic:
+		return "det"
+	case TransientND:
+		return "transient-nd"
+	case FixedND:
+		return "fixed-nd"
+	default:
+		return fmt.Sprintf("NDClass(%d)", uint8(c))
+	}
+}
+
+// ID names event e_p^i: the i'th event executed by process p. Indexes are
+// zero-based and dense within each process.
+type ID struct {
+	P int // process index
+	I int // event index within the process
+}
+
+// String renders the ID in the paper's e_p^i notation.
+func (id ID) String() string { return fmt.Sprintf("e_%d^%d", id.P, id.I) }
+
+// Event is one state transition executed by a process.
+type Event struct {
+	ID   ID
+	Kind Kind
+	ND   NDClass
+
+	// Logged reports that the result of this ND event was written to a
+	// persistent log, rendering it effectively deterministic during
+	// recovery. Logged is meaningful only when ND != Deterministic.
+	Logged bool
+
+	// Msg identifies the message for Send/Receive events; a Receive
+	// matches the Send with the same Msg value. Zero means no message.
+	Msg int64
+	// Peer is the other process of a Send/Receive.
+	Peer int
+
+	// Label is an optional human-readable description ("keystroke",
+	// "gettimeofday", "frame", ...). It has no semantic weight.
+	Label string
+}
+
+// EffectivelyND reports whether the event still behaves non-deterministically
+// during recovery: it is non-deterministic and its result was not logged.
+func (e Event) EffectivelyND() bool {
+	return e.ND != Deterministic && !e.Logged
+}
+
+// String renders a compact single-line description of the event.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s", e.ID, e.Kind)
+	if e.ND != Deterministic {
+		s += " " + e.ND.String()
+		if e.Logged {
+			s += " logged"
+		}
+	}
+	if e.Kind == Send || e.Kind == Receive {
+		s += fmt.Sprintf(" msg=%d peer=%d", e.Msg, e.Peer)
+	}
+	if e.Label != "" {
+		s += " (" + e.Label + ")"
+	}
+	return s
+}

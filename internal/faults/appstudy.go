@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"failtrans/internal/apps/nvi"
+	"failtrans/internal/apps/postgres"
+	"failtrans/internal/dc"
+	"failtrans/internal/kernel"
+	"failtrans/internal/protocol"
+	"failtrans/internal/recovery"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+)
+
+// AppFaultTypes lists Table 1's seven fault types in the paper's order.
+var AppFaultTypes = []sim.FaultKind{
+	sim.StackBitFlip,
+	sim.HeapBitFlip,
+	sim.DestReg,
+	sim.InitFault,
+	sim.DeleteBranch,
+	sim.DeleteInstr,
+	sim.OffByOne,
+}
+
+// oneShot fires once at the n'th visit of any matching fault site.
+type oneShot struct {
+	kind    sim.FaultKind
+	fireAt  int
+	visits  int
+	firedAt int // p.Steps at activation; 0 = not fired
+}
+
+func (f *oneShot) At(p *sim.Proc, site string) sim.FaultKind {
+	if f.firedAt > 0 {
+		return sim.NoFault
+	}
+	f.visits++
+	if f.visits < f.fireAt {
+		return sim.NoFault
+	}
+	f.firedAt = p.Steps
+	return f.kind
+}
+
+// RunResult is the outcome of a single fault-injection run.
+type RunResult struct {
+	Crashed bool
+	// Violation reports a commit between fault activation and the
+	// crash — the Lose-work violation Table 1 counts.
+	Violation bool
+	// WrongOutput reports a run that completed with output differing
+	// from the fault-free run (no crash, silent corruption).
+	WrongOutput bool
+	// Recovered reports the end-to-end check: with the fault suppressed
+	// on re-execution, did recovery complete the run?
+	Recovered bool
+	Timeline  recovery.FaultTimeline
+}
+
+// TypeResult aggregates one fault type's runs.
+type TypeResult struct {
+	Kind        sim.FaultKind
+	Runs        int
+	Crashes     int
+	Violations  int // commit after activation, among crashes
+	WrongOutput int
+}
+
+// ViolationPct is the Table 1 cell: percent of crashes that committed
+// after fault activation.
+func (t TypeResult) ViolationPct() float64 {
+	if t.Crashes == 0 {
+		return 0
+	}
+	return 100 * float64(t.Violations) / float64(t.Crashes)
+}
+
+// AppStudy is the Table 1 experiment configuration.
+type AppStudy struct {
+	App string // "nvi" or "postgres"
+	// CrashTarget is how many crashes to collect per fault type (the
+	// paper used ~50).
+	CrashTarget int
+	// MaxRunsPerType bounds the search for crashing runs.
+	MaxRunsPerType int
+	Policy         protocol.Policy
+	Seed           int64
+	// SessionLen scales the workload.
+	SessionLen int
+	// CheckBeforeCommit enables the paper's §2.6 mitigation: refuse
+	// commits that fail the application's consistency check.
+	CheckBeforeCommit bool
+}
+
+// NewAppStudy returns the paper's configuration for the given app.
+func NewAppStudy(app string) *AppStudy {
+	return &AppStudy{
+		App:            app,
+		CrashTarget:    50,
+		MaxRunsPerType: 400,
+		Policy:         protocol.CPVS,
+		Seed:           1,
+		SessionLen:     400,
+	}
+}
+
+// buildWorld constructs a fresh instrumented world for one run.
+func (s *AppStudy) buildWorld(seed int64) (*sim.World, error) {
+	switch s.App {
+	case "nvi":
+		e := nvi.New("study.txt", NviInitial())
+		e.ThinkTime = 0       // the paper's crash tests used non-interactive nvi
+		e.RecoveryFile = true // per-keystroke syscalls, ~10x postgres's rate
+		w := sim.NewWorld(seed, e)
+		k := kernel.New()
+		k.Clock = func() time.Duration { return w.Clock }
+		w.OS = k
+		w.Procs[0].Ctx().Inputs = nvi.Script(NviSession(seed, s.SessionLen))
+		return w, nil
+	case "postgres":
+		db := postgres.New("study.dat")
+		w := sim.NewWorld(seed, db)
+		k := kernel.New()
+		k.Clock = func() time.Duration { return w.Clock }
+		w.OS = k
+		w.Procs[0].Ctx().Inputs = postgres.Script(PostgresSession(seed, s.SessionLen))
+		return w, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown app %q", s.App)
+	}
+}
+
+// cleanOutputs runs the session fault-free and returns its visible output.
+func (s *AppStudy) cleanOutputs(seed int64) ([]string, error) {
+	w, err := s.buildWorld(seed)
+	if err != nil {
+		return nil, err
+	}
+	w.RecordTrace = false
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	return w.Outputs[0], nil
+}
+
+// RunOne executes a single injection run: arm the fault at a point derived
+// from injSeed (the workload session itself is fixed by the study seed),
+// run under the study protocol, record the timeline, then (for crashes)
+// re-run end-to-end with recovery enabled and the fault suppressed.
+func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (RunResult, error) {
+	var res RunResult
+	w, err := s.buildWorld(s.Seed)
+	if err != nil {
+		return res, err
+	}
+	w.RecordTrace = false
+	r := rand.New(rand.NewSource(injSeed ^ 0x5deece66d))
+	inj := &oneShot{kind: kind, fireAt: 5 + r.Intn(s.SessionLen/2)}
+	w.Faults = inj
+	d := dc.New(w, s.Policy, stablestore.Rio)
+	d.DisableRecovery = true
+	d.CheckBeforeCommit = s.CheckBeforeCommit
+	var commits []int
+	d.CommitHook = func(p *sim.Proc, label string) {
+		commits = append(commits, p.Steps)
+	}
+	if err := d.Attach(); err != nil {
+		return res, err
+	}
+	if err := w.Run(); err != nil {
+		return res, err
+	}
+	p := w.Procs[0]
+	if inj.firedAt == 0 {
+		return res, nil // fault never activated: discard
+	}
+	res.Timeline = recovery.FaultTimeline{
+		Commits:    commits,
+		Activation: inj.firedAt,
+		Crash:      p.Steps,
+	}
+	if !p.Dead() {
+		// Completed despite the fault: silent wrong output?
+		res.WrongOutput = !equalOutputs(w.Outputs[0], clean)
+		return res, nil
+	}
+	res.Crashed = true
+	res.Violation = res.Timeline.CommitAfterActivation()
+	res.Recovered = s.endToEnd(kind, inj.fireAt)
+	return res, nil
+}
+
+// endToEnd re-runs the same scenario with recovery enabled; the injector
+// fires once (activating identically), the crash rolls the process back,
+// and the one-shot injector stays quiet during re-execution ("suppressing
+// the fault activation during recovery"). Success means the run completes
+// without looping on crashes.
+func (s *AppStudy) endToEnd(kind sim.FaultKind, fireAt int) bool {
+	w, err := s.buildWorld(s.Seed)
+	if err != nil {
+		return false
+	}
+	w.RecordTrace = false
+	inj := &oneShot{kind: kind, fireAt: fireAt}
+	w.Faults = inj
+	d := dc.New(w, s.Policy, stablestore.Rio)
+	d.CheckBeforeCommit = s.CheckBeforeCommit
+	crashes := 0
+	d.RecoveryHook = func(p *sim.Proc, reason string) {
+		crashes++
+		if crashes > 3 {
+			// Crash-looping: the committed state re-triggers the
+			// failure every time. Give up, as an operator would.
+			d.DisableRecovery = true
+		}
+	}
+	if err := d.Attach(); err != nil {
+		return false
+	}
+	if err := w.Run(); err != nil {
+		return false
+	}
+	return w.AllDone()
+}
+
+func equalOutputs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the study for every fault type.
+func (s *AppStudy) Run() ([]TypeResult, error) {
+	var out []TypeResult
+	clean, err := s.cleanOutputs(s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range AppFaultTypes {
+		tr := TypeResult{Kind: kind}
+		for run := 0; run < s.MaxRunsPerType && tr.Crashes < s.CrashTarget; run++ {
+			// The workload session is fixed by the study seed; only
+			// the injection point varies.
+			res, err := s.RunOne(kind, s.Seed*100000+int64(run), clean)
+			if err != nil {
+				return nil, err
+			}
+			tr.Runs++
+			if res.WrongOutput {
+				tr.WrongOutput++
+			}
+			if res.Crashed {
+				tr.Crashes++
+				if res.Violation {
+					tr.Violations++
+				}
+			}
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"failtrans/internal/dc"
+	"failtrans/internal/kernel"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+)
+
+// osFaultWindow maps each kernel fault type to the latency between fault
+// activation inside the kernel and the eventual kernel panic — the window
+// during which buggy kernel execution can propagate into application
+// state. The durations follow each bug class's nature: an uninitialized
+// pointer or corrupted stack usually traps the kernel almost immediately
+// (a stop failure), while a flipped heap bit or a deleted branch can let
+// the kernel limp along serving corrupted results.
+var osFaultWindow = map[sim.FaultKind]time.Duration{
+	sim.StackBitFlip: 200 * time.Microsecond,
+	sim.HeapBitFlip:  3 * time.Millisecond,
+	sim.DestReg:      1 * time.Millisecond,
+	sim.InitFault:    500 * time.Microsecond,
+	sim.DeleteBranch: 5 * time.Millisecond,
+	sim.DeleteInstr:  2500 * time.Microsecond,
+	sim.OffByOne:     1500 * time.Microsecond,
+}
+
+// scribbleProbability is the chance that one buggy kernel execution (one
+// corrupted syscall) also scribbles on the application's memory.
+const scribbleProbability = 0.01
+
+// OSTypeResult aggregates one kernel fault type's runs.
+type OSTypeResult struct {
+	Kind    sim.FaultKind
+	Runs    int
+	Crashes int
+	// FailedRecoveries counts crashes the application could not recover
+	// from (Table 2's metric).
+	FailedRecoveries int
+	// Propagations counts faults that corrupted application-visible
+	// state before the kernel panicked.
+	Propagations int
+}
+
+// FailurePct is the Table 2 cell.
+func (t OSTypeResult) FailurePct() float64 {
+	if t.Crashes == 0 {
+		return 0
+	}
+	return 100 * float64(t.FailedRecoveries) / float64(t.Crashes)
+}
+
+// OSStudy is the Table 2 experiment: inject faults into the running kernel
+// and measure how often the application fails to recover.
+type OSStudy struct {
+	*AppStudy
+	cleanDur time.Duration
+}
+
+// NewOSStudy returns the paper's configuration for the given app.
+func NewOSStudy(app string) *OSStudy {
+	s := NewAppStudy(app)
+	return &OSStudy{AppStudy: s}
+}
+
+// memoryScribble arms a one-shot corruption of application memory while
+// the kernel fault window is open — a buggy kernel writing through a wild
+// pointer into user pages. It fires at the application's next fault site.
+type memoryScribble struct {
+	armed   bool
+	firedAt int
+}
+
+func (m *memoryScribble) At(p *sim.Proc, site string) sim.FaultKind {
+	if !m.armed || m.firedAt > 0 {
+		return sim.NoFault
+	}
+	m.firedAt = p.Steps
+	return sim.HeapBitFlip
+}
+
+// RunOne injects one kernel fault at a time drawn from injSeed and reports
+// whether the application crashed and whether it recovered end-to-end.
+func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered, propagated bool, err error) {
+	w, err := o.buildWorld(o.Seed)
+	if err != nil {
+		return false, false, false, err
+	}
+	w.RecordTrace = false
+	k := w.OS.(*kernel.Kernel)
+	scribble := &memoryScribble{}
+	w.Faults = scribble
+	// Each buggy kernel execution serving a syscall has a small chance of
+	// writing through a wild pointer into user pages; the application's
+	// exposure is therefore proportional to its syscall rate within the
+	// fault window — the paper's explanation for nvi propagating 4x more
+	// often than postgres.
+	propRng := rand.New(rand.NewSource(injSeed ^ 0x2545f491))
+	k.OnCorrupt = func(pid int) {
+		if propRng.Float64() < scribbleProbability {
+			scribble.armed = true
+		}
+	}
+
+	d := dc.New(w, o.Policy, stablestore.Rio)
+	crashes := 0
+	d.RecoveryHook = func(p *sim.Proc, reason string) {
+		crashes++
+		if crashes > 3 {
+			d.DisableRecovery = true // crash-looping on committed corruption
+		}
+	}
+	if err := d.Attach(); err != nil {
+		return false, false, false, err
+	}
+
+	// Estimate run length, then inject at a random fraction of it.
+	r := rand.New(rand.NewSource(injSeed))
+	injectAt := time.Duration(float64(o.cleanDuration()) * (0.05 + 0.9*r.Float64()))
+	window := osFaultWindow[kind]
+	injected := false
+	for {
+		more, err := w.Step()
+		if err != nil {
+			return false, false, false, err
+		}
+		if !more {
+			break
+		}
+		if !injected && w.Clock >= injectAt {
+			injected = true
+			k.InjectFault(0, window)
+		}
+	}
+	if !injected || crashes == 0 {
+		return false, false, k.FaultCorrupted(0), nil
+	}
+	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.firedAt > 0, nil
+}
+
+// cleanDuration measures the fault-free run's virtual duration (cached).
+func (o *OSStudy) cleanDuration() time.Duration {
+	if o.cleanDur != 0 {
+		return o.cleanDur
+	}
+	w, err := o.buildWorld(o.Seed)
+	if err != nil {
+		return time.Second
+	}
+	w.RecordTrace = false
+	if err := w.Run(); err != nil {
+		return time.Second
+	}
+	o.cleanDur = w.Clock
+	return o.cleanDur
+}
+
+// Run executes the OS study for every fault type.
+func (o *OSStudy) Run() ([]OSTypeResult, error) {
+	var out []OSTypeResult
+	for _, kind := range AppFaultTypes {
+		tr := OSTypeResult{Kind: kind}
+		for run := 0; run < o.MaxRunsPerType && tr.Crashes < o.CrashTarget; run++ {
+			crashed, recovered, propagated, err := o.RunOne(kind, o.Seed*77777+int64(run))
+			if err != nil {
+				return nil, err
+			}
+			tr.Runs++
+			if propagated {
+				tr.Propagations++
+			}
+			if crashed {
+				tr.Crashes++
+				if !recovered {
+					tr.FailedRecoveries++
+				}
+			}
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

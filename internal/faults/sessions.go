@@ -1,0 +1,97 @@
+// Package faults implements the paper's Section 4 measurements: the
+// application fault-injection study (Table 1 — how often upholding
+// Save-work violates Lose-work) and the operating-system fault-injection
+// study (Table 2 — how often applications fail to recover from kernel
+// faults).
+//
+// Both studies run nvi and postgres under Discount Checking with the CPVS
+// protocol, "the best protocol possible for not violating Lose-work for
+// non-distributed applications" per the paper, and use the same fault model
+// (seven source-level programming-error types).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NviSession generates a deterministic pseudo-random vi editing session of
+// roughly n keystrokes: movement bursts, insert-mode text, character and
+// line deletes, periodic :w saves, ending with :wq.
+func NviSession(seed int64, n int) string {
+	r := rand.New(rand.NewSource(seed))
+	words := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	var out []byte
+	emit := func(s string) { out = append(out, s...) }
+	for len(out) < n {
+		switch r.Intn(10) {
+		case 0, 1, 2: // movement burst
+			moves := "hjkl"
+			for i := 0; i < 2+r.Intn(6); i++ {
+				emit(string(moves[r.Intn(4)]))
+			}
+		case 3, 4, 5: // insert a word
+			emit("i")
+			emit(words[r.Intn(len(words))])
+			emit(" ")
+			emit("\x1b")
+		case 6: // open a line
+			emit("o")
+			emit(words[r.Intn(len(words))])
+			emit("\x1b")
+		case 7: // delete characters
+			emit("0")
+			for i := 0; i < 1+r.Intn(3); i++ {
+				emit("x")
+			}
+		case 8: // delete a line
+			emit("dd")
+		default: // save
+			emit(":w\n")
+		}
+	}
+	emit(":wq\n")
+	return string(out)
+}
+
+// NviInitial is the starting document for the study sessions.
+func NviInitial() []string {
+	doc := make([]string, 40)
+	for i := range doc {
+		doc[i] = fmt.Sprintf("line %02d: the quick brown fox jumps over the lazy dog", i)
+	}
+	return doc
+}
+
+// PostgresSession generates a deterministic pseudo-random query stream of n
+// operations: inserts, selects, updates, deletes and range scans over a
+// growing key space, with periodic consistency checks (as a production
+// engine's background validation would run).
+func PostgresSession(seed int64, n int) []string {
+	r := rand.New(rand.NewSource(seed))
+	var out []string
+	maxKey := 1
+	val := func() string {
+		return fmt.Sprintf("payload-%d-%s", r.Intn(1000), "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"[:10+r.Intn(20)])
+	}
+	for len(out) < n {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			out = append(out, fmt.Sprintf("insert %d %s", maxKey, val()))
+			maxKey++
+		case 4, 5: // select
+			out = append(out, fmt.Sprintf("select %d", r.Intn(maxKey)))
+		case 6: // update
+			out = append(out, fmt.Sprintf("update %d %s", r.Intn(maxKey), val()))
+		case 7: // delete
+			out = append(out, fmt.Sprintf("delete %d", r.Intn(maxKey)))
+		case 8: // scan
+			lo := r.Intn(maxKey)
+			out = append(out, fmt.Sprintf("scan %d %d", lo, lo+r.Intn(20)))
+		default:
+			out = append(out, "flush")
+		}
+	}
+	out = append(out, "quit")
+	return out
+}

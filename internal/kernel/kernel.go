@@ -1,0 +1,422 @@
+// Package kernel is the simulated operating system under the applications:
+// a per-node flat filesystem, per-process open-file tables, and a syscall
+// surface whose calls are classified by their non-determinism the way the
+// paper's Discount Checking classifies FreeBSD's (gettimeofday and select
+// are transient-ND; open is fixed-ND, it depends on kernel resource state;
+// regular-file reads and writes are deterministic in the simulator).
+//
+// The kernel is also the fault-injection target for the paper's Table 2
+// study: an injected kernel fault opens a corruption window during which
+// syscall results returned to the application are silently corrupted
+// (a propagation failure); when the window closes the kernel panics, which
+// the application observes as ErrNodeCrashed on its next syscall (a stop
+// failure). A fault whose window sees no syscalls is a pure stop failure.
+package kernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"failtrans/internal/event"
+)
+
+// ErrNodeCrashed is returned by every syscall after the node's kernel has
+// panicked and before it reboots.
+var ErrNodeCrashed = errors.New("kernel: node crashed")
+
+// MaxOpenFiles bounds each process's file table (the paper's example of
+// fixed non-determinism in open).
+const MaxOpenFiles = 64
+
+type fdEntry struct {
+	Path   string
+	Offset int64
+}
+
+type kernelFault struct {
+	start  time.Duration
+	window time.Duration
+	// corrupted reports whether any syscall result was corrupted before
+	// the panic.
+	corrupted bool
+	// panicked is set once the window closes.
+	panicked bool
+}
+
+type node struct {
+	fs     map[string][]byte
+	fds    map[int]*fdEntry
+	nextFD int
+	// fdLimit is the node's open-file limit; ExpandResources raises it,
+	// turning the paper's fixed non-determinism of open into transient
+	// non-determinism for the re-execution (§2.6).
+	fdLimit int
+	fault   *kernelFault
+	edits   int64 // corruption counter for deterministic bit choice
+	Syscall int64 // total syscalls served
+}
+
+// Kernel implements sim.OS for any number of processes, each on its own
+// node (its own filesystem and file table), matching the paper's testbed
+// where distributed workloads ran on four machines.
+type Kernel struct {
+	// Clock supplies current virtual time; the world wires it up.
+	Clock func() time.Duration
+	// OnCorrupt, if set, is called every time a fault corrupts a syscall
+	// result for a process (the Table 2 propagation marker; callers can
+	// decide per corruption whether kernel state also reached user
+	// memory).
+	OnCorrupt func(pid int)
+	// OnPanic, if set, is called when a node's kernel panics.
+	OnPanic func(pid int)
+
+	nodes map[int]*node
+}
+
+// New returns a kernel with no nodes; nodes are created on first use.
+func New() *Kernel {
+	return &Kernel{Clock: func() time.Duration { return 0 }, nodes: make(map[int]*node)}
+}
+
+func (k *Kernel) node(pid int) *node {
+	n, ok := k.nodes[pid]
+	if !ok {
+		n = &node{fs: make(map[string][]byte), fds: make(map[int]*fdEntry), nextFD: 3, fdLimit: MaxOpenFiles}
+		k.nodes[pid] = n
+	}
+	return n
+}
+
+// WriteFile seeds a file on pid's node (test/bench setup).
+func (k *Kernel) WriteFile(pid int, path string, data []byte) {
+	k.node(pid).fs[path] = append([]byte(nil), data...)
+}
+
+// ReadFile reads a file from pid's node directly (assertions in tests).
+func (k *Kernel) ReadFile(pid int, path string) ([]byte, bool) {
+	d, ok := k.node(pid).fs[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Files lists pid's node's files, sorted.
+func (k *Kernel) Files(pid int) []string {
+	n := k.node(pid)
+	out := make([]string, 0, len(n.fs))
+	for p := range n.fs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Syscalls returns the number of syscalls pid's node has served.
+func (k *Kernel) Syscalls(pid int) int64 { return k.node(pid).Syscall }
+
+// InjectFault opens a corruption window on pid's node starting now; after
+// `window` of virtual time the kernel panics. window == 0 is an immediate
+// stop failure.
+func (k *Kernel) InjectFault(pid int, window time.Duration) {
+	n := k.node(pid)
+	n.fault = &kernelFault{start: k.Clock(), window: window}
+}
+
+// FaultCorrupted reports whether pid's current/last fault corrupted any
+// syscall result before panicking (i.e. manifested as a propagation
+// failure rather than a stop failure).
+func (k *Kernel) FaultCorrupted(pid int) bool {
+	n := k.node(pid)
+	return n.fault != nil && n.fault.corrupted
+}
+
+// ExpandResources raises pid's resource limits (here: doubles the open-file
+// limit) — the paper's §2.6 suggestion for converting fixed
+// non-deterministic events into transient ones after a failure: the open
+// that deterministically failed before the crash can succeed on
+// re-execution. It returns the new limit.
+func (k *Kernel) ExpandResources(pid int) int {
+	n := k.node(pid)
+	n.fdLimit *= 2
+	return n.fdLimit
+}
+
+// Reboot clears the node's panic state and file table (open files do not
+// survive a reboot); filesystem contents, being on disk, survive.
+func (k *Kernel) Reboot(pid int) {
+	n := k.node(pid)
+	n.fault = nil
+	n.fds = make(map[int]*fdEntry)
+	n.nextFD = 3
+}
+
+// Classify returns the non-determinism class of a syscall name.
+func Classify(name string) event.NDClass {
+	switch name {
+	case "gettimeofday", "select":
+		return event.TransientND
+	case "open":
+		return event.FixedND
+	default:
+		return event.Deterministic
+	}
+}
+
+// Call implements sim.OS.
+func (k *Kernel) Call(pid int, name string, args [][]byte) ([][]byte, event.NDClass, error) {
+	n := k.node(pid)
+	nd := Classify(name)
+	if n.fault != nil {
+		now := k.Clock()
+		if n.fault.panicked || now >= n.fault.start+n.fault.window {
+			if !n.fault.panicked {
+				n.fault.panicked = true
+				if k.OnPanic != nil {
+					k.OnPanic(pid)
+				}
+			}
+			return nil, nd, ErrNodeCrashed
+		}
+	}
+	n.Syscall++
+	ret, err := k.dispatch(n, name, args)
+	if err != nil {
+		return nil, nd, err
+	}
+	if n.fault != nil && !n.fault.panicked {
+		ret = k.corrupt(pid, n, ret)
+	}
+	return ret, nd, nil
+}
+
+// corrupt flips one bit of the syscall result (if it has any payload),
+// modeling buggy kernel data propagating into the application.
+func (k *Kernel) corrupt(pid int, n *node, ret [][]byte) [][]byte {
+	for i, part := range ret {
+		if len(part) == 0 {
+			continue
+		}
+		mut := append([]byte(nil), part...)
+		bit := n.edits % int64(len(mut)*8)
+		n.edits += 7 // vary the corrupted bit deterministically
+		mut[bit/8] ^= 1 << (bit % 8)
+		ret[i] = mut
+		n.fault.corrupted = true
+		if k.OnCorrupt != nil {
+			k.OnCorrupt(pid)
+		}
+		return ret
+	}
+	return ret
+}
+
+func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error) {
+	switch name {
+	case "open":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("kernel: open needs a path")
+		}
+		if len(n.fds) >= n.fdLimit {
+			return nil, fmt.Errorf("kernel: out of file table slots")
+		}
+		path := string(args[0])
+		create := len(args) > 1 && len(args[1]) > 0 && args[1][0] == 1
+		if _, ok := n.fs[path]; !ok {
+			if !create {
+				return nil, fmt.Errorf("kernel: open %s: no such file", path)
+			}
+			n.fs[path] = nil
+		}
+		fd := n.nextFD
+		n.nextFD++
+		n.fds[fd] = &fdEntry{Path: path}
+		return [][]byte{I64(int64(fd))}, nil
+	case "close":
+		fd, err := fdArg(args)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := n.fds[fd]; !ok {
+			return nil, fmt.Errorf("kernel: close bad fd %d", fd)
+		}
+		delete(n.fds, fd)
+		return nil, nil
+	case "read":
+		fd, err := fdArg(args)
+		if err != nil {
+			return nil, err
+		}
+		e, ok := n.fds[fd]
+		if !ok {
+			return nil, fmt.Errorf("kernel: read bad fd %d", fd)
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("kernel: read needs a length")
+		}
+		want := Int(args[1])
+		data := n.fs[e.Path]
+		if e.Offset >= int64(len(data)) {
+			return [][]byte{nil}, nil
+		}
+		end := e.Offset + want
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		out := append([]byte(nil), data[e.Offset:end]...)
+		e.Offset = end
+		return [][]byte{out}, nil
+	case "write":
+		fd, err := fdArg(args)
+		if err != nil {
+			return nil, err
+		}
+		e, ok := n.fds[fd]
+		if !ok {
+			return nil, fmt.Errorf("kernel: write bad fd %d", fd)
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("kernel: write needs data")
+		}
+		data := args[1]
+		file := n.fs[e.Path]
+		need := e.Offset + int64(len(data))
+		if int64(len(file)) < need {
+			grown := make([]byte, need)
+			copy(grown, file)
+			file = grown
+		}
+		copy(file[e.Offset:], data)
+		n.fs[e.Path] = file
+		e.Offset += int64(len(data))
+		return [][]byte{I64(int64(len(data)))}, nil
+	case "lseek":
+		fd, err := fdArg(args)
+		if err != nil {
+			return nil, err
+		}
+		e, ok := n.fds[fd]
+		if !ok {
+			return nil, fmt.Errorf("kernel: lseek bad fd %d", fd)
+		}
+		if len(args) < 2 {
+			return nil, fmt.Errorf("kernel: lseek needs an offset")
+		}
+		e.Offset = Int(args[1])
+		return [][]byte{I64(e.Offset)}, nil
+	case "truncate":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("kernel: truncate needs path and size")
+		}
+		path := string(args[0])
+		size := Int(args[1])
+		data, ok := n.fs[path]
+		if !ok {
+			return nil, fmt.Errorf("kernel: truncate %s: no such file", path)
+		}
+		if int64(len(data)) > size {
+			n.fs[path] = data[:size]
+		}
+		return nil, nil
+	case "unlink":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("kernel: unlink needs a path")
+		}
+		delete(n.fs, string(args[0]))
+		return nil, nil
+	case "stat":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("kernel: stat needs a path")
+		}
+		data, ok := n.fs[string(args[0])]
+		if !ok {
+			return [][]byte{I64(-1)}, nil
+		}
+		return [][]byte{I64(int64(len(data)))}, nil
+	case "gettimeofday":
+		return [][]byte{I64(int64(k.Clock()))}, nil
+	case "select":
+		// Readiness polling: in the simulator, always "ready".
+		return [][]byte{I64(1)}, nil
+	case "getpid":
+		return [][]byte{I64(int64(0))}, nil
+	default:
+		return nil, fmt.Errorf("kernel: unknown syscall %q", name)
+	}
+}
+
+// SaveProcState implements sim.OS: it serializes pid's open-file table.
+func (k *Kernel) SaveProcState(pid int) []byte {
+	n := k.node(pid)
+	fds := make([]int, 0, len(n.fds))
+	for fd := range n.fds {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	var out []byte
+	out = append(out, I64(int64(len(fds)))...)
+	out = append(out, I64(int64(n.nextFD))...)
+	for _, fd := range fds {
+		e := n.fds[fd]
+		out = append(out, I64(int64(fd))...)
+		out = append(out, I64(e.Offset)...)
+		out = append(out, I64(int64(len(e.Path)))...)
+		out = append(out, e.Path...)
+	}
+	return out
+}
+
+// RestoreProcState implements sim.OS: the node reboots (clearing any panic)
+// and the file table is rebuilt from the checkpointed blob — the paper's
+// "copies syscall parameters and uses them to directly reconstruct relevant
+// kernel state during recovery".
+func (k *Kernel) RestoreProcState(pid int, blob []byte) {
+	k.Reboot(pid)
+	n := k.node(pid)
+	if len(blob) < 16 {
+		return
+	}
+	count := Int(blob[0:8])
+	n.nextFD = int(Int(blob[8:16]))
+	p := 16
+	for i := int64(0); i < count && p+24 <= len(blob); i++ {
+		fd := Int(blob[p : p+8])
+		off := Int(blob[p+8 : p+16])
+		plen := int(Int(blob[p+16 : p+24]))
+		p += 24
+		if p+plen > len(blob) {
+			return
+		}
+		path := string(blob[p : p+plen])
+		p += plen
+		if _, ok := n.fs[path]; !ok {
+			n.fs[path] = nil
+		}
+		n.fds[int(fd)] = &fdEntry{Path: path, Offset: off}
+	}
+}
+
+func fdArg(args [][]byte) (int, error) {
+	if len(args) < 1 || len(args[0]) < 8 {
+		return 0, fmt.Errorf("kernel: missing fd argument")
+	}
+	return int(Int(args[0])), nil
+}
+
+// I64 encodes an int64 argument/result.
+func I64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// Int decodes an int64 argument/result.
+func Int(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b[:8]))
+}

@@ -1,0 +1,68 @@
+package protocol
+
+import "fmt"
+
+// EventMix summarizes an application's event profile, per process per unit
+// of work (the absolute scale cancels out; only ratios matter).
+type EventMix struct {
+	Visible int
+	// Sends counts messages to other processes.
+	Sends int
+	// Receives counts message receive events.
+	Receives int
+	// Input counts fixed-ND user input events.
+	Input int
+	// OtherND counts the remaining transient ND (clock reads, signals,
+	// rand) that logging protocols do not capture.
+	OtherND int
+	// Distributed reports whether the computation has multiple
+	// processes (2PC only makes sense then).
+	Distributed bool
+}
+
+func (m EventMix) loggable() int { return m.Input + m.Receives }
+func (m EventMix) nd() int       { return m.Input + m.Receives + m.OtherND }
+
+// Recommend picks the measured protocol the paper's results say should win
+// for this event mix, with the reasoning. The paper's §3 observation: "the
+// protocols that perform best for each application are the ones that
+// exploit the infrequent class of events for that application in deciding
+// when to commit."
+func Recommend(m EventMix) (Policy, string) {
+	switch {
+	case m.Distributed && m.Visible*10 < m.Sends+m.nd():
+		// TreadMarks-shaped: copious messaging, almost no visible
+		// events. Committing before sends (CPVS/CBNDVS) or after ND
+		// (CAND) is ruinous; coordinate on the rare visibles instead.
+		return CBNDV2PC, "visible events are the rare class: coordinate commits on them " +
+			"and never commit for sends (the paper's TreadMarks result)"
+	case m.OtherND == 0 && m.loggable() > 0:
+		// Everything non-deterministic is loggable: logging removes
+		// every forced commit.
+		return CBNDVSLog, "all non-determinism is user input or receives: log it and " +
+			"commit (almost) never (the paper's nvi CBNDVS-LOG result)"
+	case m.loggable() > 0 && m.OtherND*5 < m.loggable():
+		// nvi-shaped: ND dominated by input/receives with a little
+		// residual clock/signal ND.
+		return CBNDVSLog, "most non-determinism is loggable: logging collapses commit " +
+			"frequency to the residual transient events"
+	case m.nd()*2 < m.Visible+m.Sends:
+		// magic-shaped: commits per visible exceed the ND rate, so
+		// committing only when ND is actually pending wins.
+		return CBNDVS, "non-determinism is the rare class: commit only between an ND " +
+			"event and the next visible or send (the paper's magic result)"
+	default:
+		// xpilot-shaped: both classes are frequent per process; 2PC
+		// only multiplies commits (the paper's noted exception), and
+		// logging cannot capture the clock/effect ND. CBNDVS is the
+		// least-bad general choice.
+		return CBNDVS, "no rare event class exists; avoid 2PC (it raises the commit " +
+			"rate, as the paper observed for xpilot) and skip no-op commits"
+	}
+}
+
+// RecommendString renders the recommendation for humans.
+func RecommendString(m EventMix) string {
+	p, why := Recommend(m)
+	return fmt.Sprintf("%s — %s", p.Name, why)
+}

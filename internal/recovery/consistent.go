@@ -1,0 +1,53 @@
+package recovery
+
+// This file implements the paper's definition of consistent recovery:
+// recovery is consistent iff there exists a complete, failure-free execution
+// of the computation that would result in a sequence of visible events
+// equivalent to the sequence actually output in the failed and recovered
+// run — where a sequence V is equivalent to a failure-free V' if the only
+// events in V that differ from V' are repeats of earlier events from V.
+
+// Equivalent reports whether the recovered run's visible output `got` is
+// equivalent to the failure-free output `legal` under the paper's
+// duplicates-allowed rule, and additionally whether the match is complete
+// (all of `legal` was eventually produced, the no-orphan constraint).
+//
+// Outputs are compared as opaque strings.
+func Equivalent(got, legal []string) (equivalent, complete bool) {
+	seen := make(map[string]bool)
+	j := 0
+	for _, v := range got {
+		if j < len(legal) && v == legal[j] {
+			seen[v] = true
+			j++
+			continue
+		}
+		// Not the next legal event: permitted only as a repeat of an
+		// event this run already output.
+		if !seen[v] {
+			return false, false
+		}
+	}
+	return true, j == len(legal)
+}
+
+// ExtendsLegal reports whether `got` extends a prefix of `legal` with
+// duplicates allowed — the visible constraint of consistent recovery for a
+// run that may not have finished yet.
+func ExtendsLegal(got, legal []string) bool {
+	eq, _ := Equivalent(got, legal)
+	return eq
+}
+
+// ConsistentAgainstAny reports whether `got` is equivalent to at least one
+// of the candidate failure-free output sequences, as required by the
+// existential in the definition ("there exists a complete failure-free
+// execution").
+func ConsistentAgainstAny(got []string, candidates [][]string) bool {
+	for _, legal := range candidates {
+		if _, complete := Equivalent(got, legal); complete {
+			return true
+		}
+	}
+	return false
+}

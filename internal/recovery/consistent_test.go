@@ -1,0 +1,151 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquivalentExactMatch(t *testing.T) {
+	got := []string{"a", "b", "c"}
+	eq, complete := Equivalent(got, got)
+	if !eq || !complete {
+		t.Error("identical sequences must be complete-equivalent")
+	}
+}
+
+func TestEquivalentWithDuplicates(t *testing.T) {
+	// After a failure the application re-emits "b" before continuing.
+	got := []string{"a", "b", "b", "c"}
+	legal := []string{"a", "b", "c"}
+	eq, complete := Equivalent(got, legal)
+	if !eq || !complete {
+		t.Error("repeats of earlier events must be allowed")
+	}
+}
+
+func TestEquivalentHeadsTails(t *testing.T) {
+	// The paper's Figure 1: a run outputs heads then tails, but no
+	// failure-free execution outputs both.
+	got := []string{"heads", "tails"}
+	if eq, _ := Equivalent(got, []string{"heads"}); eq {
+		t.Error("heads,tails is not equivalent to heads")
+	}
+	if eq, _ := Equivalent(got, []string{"tails"}); eq {
+		t.Error("heads,tails is not equivalent to tails")
+	}
+	if ConsistentAgainstAny(got, [][]string{{"heads"}, {"tails"}}) {
+		t.Error("heads,tails must not be consistent against either legal run")
+	}
+	if !ConsistentAgainstAny([]string{"heads", "heads"}, [][]string{{"heads"}, {"tails"}}) {
+		t.Error("a duplicated heads is consistent with the heads run")
+	}
+}
+
+func TestEquivalentIncomplete(t *testing.T) {
+	got := []string{"a"}
+	legal := []string{"a", "b"}
+	eq, complete := Equivalent(got, legal)
+	if !eq {
+		t.Error("a prefix extends the legal sequence")
+	}
+	if complete {
+		t.Error("a strict prefix is not complete")
+	}
+	if !ExtendsLegal(got, legal) {
+		t.Error("ExtendsLegal should accept a prefix")
+	}
+}
+
+func TestEquivalentWrongEvent(t *testing.T) {
+	if eq, _ := Equivalent([]string{"a", "x"}, []string{"a", "b"}); eq {
+		t.Error("an event that is neither next-legal nor a repeat must fail")
+	}
+}
+
+func TestEquivalentRepeatBeforeFirstOutput(t *testing.T) {
+	// A "repeat" of something never output is not a repeat.
+	if eq, _ := Equivalent([]string{"b", "a"}, []string{"a", "b"}); eq {
+		t.Error("out-of-order first event must fail")
+	}
+}
+
+func TestEquivalentEmpty(t *testing.T) {
+	if eq, complete := Equivalent(nil, nil); !eq || !complete {
+		t.Error("empty vs empty must be complete-equivalent")
+	}
+	if eq, complete := Equivalent(nil, []string{"a"}); !eq || complete {
+		t.Error("empty output extends but does not complete a nonempty legal run")
+	}
+}
+
+// TestEquivalentPropertyInsertingRepeats: inserting a repeat of any already
+// produced event at any later position preserves equivalence.
+func TestEquivalentPropertyInsertingRepeats(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		legal := make([]string, n)
+		for i := range legal {
+			legal[i] = string(rune('a' + r.Intn(4)))
+		}
+		got := append([]string(nil), legal...)
+		// Insert up to 3 repeats.
+		for k := 0; k < r.Intn(4); k++ {
+			pos := 1 + r.Intn(len(got))
+			dup := got[r.Intn(pos)]
+			got = append(got[:pos], append([]string{dup}, got[pos:]...)...)
+		}
+		eq, complete := Equivalent(got, legal)
+		return eq && complete
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultTimelineCommitAfterActivation(t *testing.T) {
+	ft := FaultTimeline{Commits: []int{5, 20}, LastTransientND: 2, Activation: 10, Crash: 30}
+	if !ft.CommitAfterActivation() {
+		t.Error("commit at 20 is within [10,30]")
+	}
+	if ft.RecoverySucceeds() {
+		t.Error("recovery must fail when a commit follows activation")
+	}
+}
+
+func TestFaultTimelineCommitBeforeActivationStillViolates(t *testing.T) {
+	// Commit between the transient ND event and the activation is on the
+	// dangerous path even though it precedes the corruption.
+	ft := FaultTimeline{Commits: []int{5}, LastTransientND: 2, Activation: 10, Crash: 30}
+	if ft.CommitAfterActivation() {
+		t.Error("commit at 5 is before activation")
+	}
+	if !ft.ViolatesLoseWork() {
+		t.Error("commit on (ND, crash] violates Lose-work")
+	}
+	if !ft.RecoverySucceeds() {
+		t.Error("the paper's measured criterion (commit after activation) passes here")
+	}
+}
+
+func TestFaultTimelineSafeCommit(t *testing.T) {
+	ft := FaultTimeline{Commits: []int{1}, LastTransientND: 2, Activation: 10, Crash: 30}
+	if ft.ViolatesLoseWork() {
+		t.Error("commit before the dangerous path must not violate")
+	}
+}
+
+func TestFaultTimelineBohrbug(t *testing.T) {
+	ft := FaultTimeline{LastTransientND: -1, Activation: 10, Crash: 30}
+	if !ft.ViolatesLoseWork() {
+		t.Error("a Bohrbug inherently violates Lose-work (initial state is committed)")
+	}
+}
+
+func TestFaultTimelineCrashBoundaryInclusive(t *testing.T) {
+	ft := FaultTimeline{Commits: []int{30}, LastTransientND: 0, Activation: 10, Crash: 30}
+	if !ft.CommitAfterActivation() || !ft.ViolatesLoseWork() {
+		t.Error("a commit at the crash position is on the dangerous path")
+	}
+}

@@ -1,0 +1,68 @@
+package recovery
+
+// This file implements the Section 4 measurement methodology: given the
+// timeline of a propagation failure — the last transient non-deterministic
+// event before the bug was activated, the fault activation, the eventual
+// crash, and the positions of the commits the process executed — decide
+// whether the run violated the Lose-work invariant.
+//
+// The dangerous path of the failure extends from the transient ND event at
+// its beginning (or from the initial state, for Bohrbugs) through the fault
+// activation to the crash event; any commit on that span violates
+// Lose-work and makes application-generic recovery impossible.
+
+// FaultTimeline records the positions, in a single process's event counter,
+// of the marks relevant to one injected fault. Positions are arbitrary
+// monotone integers (the simulator's per-process step counter).
+type FaultTimeline struct {
+	// Commits holds the step positions of the process's commit events.
+	Commits []int
+	// LastTransientND is the position of the last transient
+	// non-deterministic event executed before the fault activation, or
+	// -1 if none exists (a Bohrbug: the dangerous path extends all the
+	// way back to the initial state, which is always committed).
+	LastTransientND int
+	// Activation is the position at which the fault was activated (the
+	// buggy code executed).
+	Activation int
+	// Crash is the position of the crash event. Crash must be >=
+	// Activation.
+	Crash int
+}
+
+// CommitAfterActivation reports whether some commit falls in
+// [Activation, Crash] — the portion of the dangerous path the paper's
+// fault-injection study measures directly (Table 1).
+func (ft FaultTimeline) CommitAfterActivation() bool {
+	for _, c := range ft.Commits {
+		if c >= ft.Activation && c <= ft.Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// ViolatesLoseWork reports whether the run committed anywhere on the
+// dangerous path: in (LastTransientND, Crash]. A Bohrbug
+// (LastTransientND < 0) violates inherently, because the initial state of
+// any application is always committed.
+func (ft FaultTimeline) ViolatesLoseWork() bool {
+	if ft.LastTransientND < 0 {
+		return true
+	}
+	for _, c := range ft.Commits {
+		if c > ft.LastTransientND && c <= ft.Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverySucceeds is the end-to-end criterion of the paper's experiment:
+// with the fault suppressed during re-execution, recovery succeeds iff the
+// process did not commit after the fault activation (the committed state
+// then predates all corruption, and replaying from it with the activation
+// suppressed completes the run).
+func (ft FaultTimeline) RecoverySucceeds() bool {
+	return !ft.CommitAfterActivation()
+}

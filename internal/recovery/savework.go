@@ -1,0 +1,143 @@
+// Package recovery implements trace-level checkers for the paper's two
+// invariants and for its definition of consistent recovery.
+//
+// Save-work Theorem: a computation is guaranteed consistent recovery from
+// stop failures iff for each executed non-deterministic event e_p^i that
+// causally precedes a visible or commit event e, process p executes a commit
+// event e_p^j such that e_p^j happens-before (or is atomic with) e and i<j.
+//
+// Lose-work Theorem: application-generic recovery from propagation failures
+// is guaranteed to be possible iff the application executes no commit event
+// on a dangerous path.
+package recovery
+
+import (
+	"fmt"
+
+	"failtrans/internal/event"
+)
+
+// SaveWorkViolation records one uncommitted non-deterministic dependence.
+type SaveWorkViolation struct {
+	// ND is the effectively non-deterministic event whose result was not
+	// saved.
+	ND event.ID
+	// Target is the visible or commit event that causally depends on ND.
+	Target event.ID
+	// TargetKind distinguishes violations of the visible constraint
+	// (Save-work-visible) from orphan-creating ones (Save-work-orphan).
+	TargetKind event.Kind
+}
+
+// String renders the violation.
+func (v SaveWorkViolation) String() string {
+	rule := "Save-work-visible"
+	if v.TargetKind == event.Commit {
+		rule = "Save-work-orphan"
+	}
+	return fmt.Sprintf("%s: ND event %v causally precedes %s %v without an intervening commit", rule, v.ND, v.TargetKind, v.Target)
+}
+
+// CheckSaveWork verifies the Save-work invariant over a complete trace and
+// returns every violation found (nil when the invariant holds).
+//
+// A commit e_p^j covers ND event e_p^i with respect to target e when i<j and
+// either e_p^j is e itself (the commit covers its own process's
+// non-determinism atomically) or e_p^j happens-before e.
+func CheckSaveWork(tr *event.Trace) []SaveWorkViolation {
+	hb := event.NewHB(tr)
+	// commitsOf[p] lists the local indexes of p's commits, ascending.
+	commitsOf := make([][]int, tr.NumProcs)
+	for _, e := range tr.Events {
+		if e.Kind == event.Commit {
+			commitsOf[e.ID.P] = append(commitsOf[e.ID.P], e.ID.I)
+		}
+	}
+	var out []SaveWorkViolation
+	for _, target := range tr.Events {
+		if target.Kind != event.Visible && target.Kind != event.Commit {
+			continue
+		}
+		for _, nd := range tr.Events {
+			if !nd.EffectivelyND() {
+				continue
+			}
+			if nd.ID == target.ID || !hb.CausallyPrecedes(nd.ID, target.ID) {
+				continue
+			}
+			if !covered(hb, commitsOf, nd.ID, target.ID) {
+				out = append(out, SaveWorkViolation{ND: nd.ID, Target: target.ID, TargetKind: target.Kind})
+			}
+		}
+	}
+	return out
+}
+
+// covered reports whether some commit on nd's process, after nd, happens
+// before (or is) the target event.
+func covered(hb *event.HB, commitsOf [][]int, nd, target event.ID) bool {
+	for _, j := range commitsOf[nd.P] {
+		if j <= nd.I {
+			continue
+		}
+		c := event.ID{P: nd.P, I: j}
+		if c == target || hb.HappensBefore(c, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Orphan describes a process that has committed a dependence on another
+// process's lost non-deterministic event.
+type Orphan struct {
+	Process int
+	// Commit is the orphaning commit.
+	Commit event.ID
+	// LostND is the failed process's uncommitted ND event the commit
+	// depends on.
+	LostND event.ID
+}
+
+// FindOrphans determines which processes become orphans in the hypothetical
+// run where process `failed` stop-fails after executing its first `executed`
+// events. The failed process's uncommitted events before the cut are lost,
+// and any other process whose commit (a) exists in the hypothetical run —
+// i.e. does not causally depend on post-cut events of the failed process —
+// and (b) causally depends on a lost effectively-non-deterministic event, is
+// an orphan.
+func FindOrphans(tr *event.Trace, failed int, executed int) []Orphan {
+	hb := event.NewHB(tr)
+	lastCommit := -1
+	for _, e := range tr.Events {
+		if e.ID.P == failed && e.Kind == event.Commit && e.ID.I < executed {
+			lastCommit = e.ID.I
+		}
+	}
+	var lost []event.ID
+	for _, e := range tr.Events {
+		if e.ID.P == failed && e.ID.I > lastCommit && e.ID.I < executed && e.EffectivelyND() {
+			lost = append(lost, e.ID)
+		}
+	}
+	var out []Orphan
+	for _, e := range tr.Events {
+		if e.Kind != event.Commit || e.ID.P == failed {
+			continue
+		}
+		// A commit that depends on the failed process's post-cut events
+		// would never have executed in the hypothetical run. The clock
+		// component counts causal-past events of `failed` inclusively,
+		// so > executed means a post-cut dependence.
+		if c, ok := hb.Clock(e.ID); ok && c[failed] > executed {
+			continue
+		}
+		for _, nd := range lost {
+			if hb.CausallyPrecedes(nd, e.ID) {
+				out = append(out, Orphan{Process: e.ID.P, Commit: e.ID, LostND: nd})
+				break
+			}
+		}
+	}
+	return out
+}

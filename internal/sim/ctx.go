@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"failtrans/internal/event"
+)
+
+// EventOverhead is the virtual CPU cost charged per intercepted event — the
+// trap/classification overhead of the recovery layer's interception (system
+// call wrapping on the paper's hardware).
+const EventOverhead = 2 * time.Microsecond
+
+// FaultKind enumerates the paper's injected programming-error types
+// (Table 1; fault model from Chandra's thesis [6]).
+type FaultKind uint8
+
+const (
+	// NoFault means the site executes normally.
+	NoFault FaultKind = iota
+	// StackBitFlip flips a bit in local (short-lived) working data.
+	StackBitFlip
+	// HeapBitFlip flips a bit in long-lived heap data.
+	HeapBitFlip
+	// DestReg directs a computed value to the wrong destination.
+	DestReg
+	// InitFault skips an initialization, leaving garbage/zero.
+	InitFault
+	// DeleteBranch forces a conditional the wrong way.
+	DeleteBranch
+	// DeleteInstr skips one state update.
+	DeleteInstr
+	// OffByOne perturbs a bound or index by one.
+	OffByOne
+)
+
+// String names the fault kind as in Table 1.
+func (k FaultKind) String() string {
+	switch k {
+	case NoFault:
+		return "none"
+	case StackBitFlip:
+		return "stack bit flip"
+	case HeapBitFlip:
+		return "heap bit flip"
+	case DestReg:
+		return "destination reg"
+	case InitFault:
+		return "initialization"
+	case DeleteBranch:
+		return "delete branch"
+	case DeleteInstr:
+		return "delete instruction"
+	case OffByOne:
+		return "off by one"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultInjector decides whether a fault fires at an application fault site.
+type FaultInjector interface {
+	// At is consulted every time a process passes a fault site; a
+	// non-NoFault return tells the application to corrupt itself there.
+	At(p *Proc, site string) FaultKind
+}
+
+// Ctx is the runtime interface handed to Programs. Every method that has an
+// external effect or a non-deterministic result records the corresponding
+// event and passes through the recovery layer's hooks.
+type Ctx struct {
+	p *Proc
+
+	// Inputs scripts the process's fixed-ND user input; Input consumes
+	// it at the process's InputCursor.
+	Inputs [][]byte
+
+	elapsed     time.Duration
+	sleepFor    time.Duration
+	crashed     bool
+	crashReason string
+}
+
+func newCtx(p *Proc) *Ctx { return &Ctx{p: p} }
+
+// Proc returns the owning process.
+func (c *Ctx) Proc() *Proc { return c.p }
+
+// World returns the owning world.
+func (c *Ctx) World() *World { return c.p.World }
+
+// NowVirtual returns the current virtual time without recording any event
+// (scheduling/bookkeeping use only — not visible to Program semantics).
+func (c *Ctx) NowVirtual() time.Duration { return c.p.World.Clock + c.elapsed }
+
+// Compute charges d of CPU time to the current step.
+func (c *Ctx) Compute(d time.Duration) { c.elapsed += d }
+
+// Sleep asks the scheduler to park the process for d after this step; the
+// Program should return Sleeping.
+func (c *Ctx) Sleep(d time.Duration) { c.sleepFor = d }
+
+// Crash marks the process as having executed a crash event. The Program
+// should return Crashed (the scheduler enforces it regardless).
+func (c *Ctx) Crash(reason string) {
+	c.crashed = true
+	c.crashReason = reason
+}
+
+// before runs the pre-event recovery hook.
+func (c *Ctx) before(kind event.Kind, nd event.NDClass, label string) {
+	if r := c.p.World.Recovery; r != nil {
+		r.BeforeEvent(c.p, kind, nd, label)
+	}
+}
+
+// after records the event and runs the post-event recovery hook.
+func (c *Ctx) after(kind event.Kind, nd event.NDClass, logged bool, msg int64, peer int, label string) event.Event {
+	c.elapsed += EventOverhead
+	ev := c.p.World.record(c.p, kind, nd, logged, msg, peer, label)
+	if r := c.p.World.Recovery; r != nil {
+		r.AfterEvent(c.p, ev)
+	}
+	return ev
+}
+
+// ndValue runs the replay/log protocol for one ND event: during constrained
+// re-execution the logged value is replayed; otherwise the live value may be
+// recorded into the log. It returns the value to use and whether the event
+// counts as logged (deterministic for Save-work).
+func (c *Ctx) ndValue(label string, live func() []byte) ([]byte, bool) {
+	r := c.p.World.Recovery
+	if r != nil {
+		if v, ok := r.SupplyND(c.p, label); ok {
+			return v, true
+		}
+	}
+	v := live()
+	logged := false
+	if r != nil {
+		logged = r.RecordND(c.p, label, v)
+	}
+	return v, logged
+}
+
+// Now executes a gettimeofday: a transient non-deterministic event.
+func (c *Ctx) Now() time.Duration {
+	c.before(event.Internal, event.TransientND, "gettimeofday")
+	v, logged := c.ndValue("gettimeofday", func() []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(c.NowVirtual()))
+		return b[:]
+	})
+	c.after(event.Internal, event.TransientND, logged, 0, 0, "gettimeofday")
+	return time.Duration(binary.LittleEndian.Uint64(v))
+}
+
+// Rand draws from the process's transient-ND random stream (scheduling
+// jitter, signal timing and similar sources are modeled through it).
+func (c *Ctx) Rand() uint64 {
+	c.before(event.Internal, event.TransientND, "rand")
+	v, logged := c.ndValue("rand", func() []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], c.p.rng.Uint64())
+		return b[:]
+	})
+	c.after(event.Internal, event.TransientND, logged, 0, 0, "rand")
+	return binary.LittleEndian.Uint64(v)
+}
+
+// Input consumes the next scripted user input: a fixed non-deterministic
+// event (the user will retype the same thing after a failure). ok=false
+// means the script is exhausted.
+func (c *Ctx) Input() ([]byte, bool) {
+	if c.p.InputCursor >= len(c.Inputs) {
+		return nil, false
+	}
+	c.before(event.Internal, event.FixedND, "input")
+	v, logged := c.ndValue("input", func() []byte {
+		v := c.Inputs[c.p.InputCursor]
+		return append([]byte(nil), v...)
+	})
+	c.p.InputCursor++
+	c.after(event.Internal, event.FixedND, logged, 0, 0, "input")
+	return v, true
+}
+
+// TakeSignal polls for a delivered signal: a transient non-deterministic
+// event (its timing relative to the computation is unpredictable, and a
+// re-execution may not see it at the same point — or at all). ok=false
+// means no signal is pending.
+func (c *Ctx) TakeSignal() (string, bool) {
+	// Constrained re-execution replays logged signals at their recorded
+	// positions.
+	if r := c.p.World.Recovery; r != nil {
+		if v, ok := r.SupplyND(c.p, "signal"); ok {
+			c.before(event.Internal, event.TransientND, "signal")
+			c.after(event.Internal, event.TransientND, true, 0, 0, "signal")
+			return string(v), true
+		}
+	}
+	now := c.NowVirtual()
+	idx := -1
+	for i, ps := range c.p.signals {
+		if ps.at <= now && (idx < 0 || ps.at < c.p.signals[idx].at) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return "", false
+	}
+	c.before(event.Internal, event.TransientND, "signal")
+	sig := c.p.signals[idx].sig
+	c.p.signals = append(c.p.signals[:idx], c.p.signals[idx+1:]...)
+	logged := false
+	if r := c.p.World.Recovery; r != nil {
+		logged = r.RecordND(c.p, "signal", []byte(sig))
+	}
+	c.after(event.Internal, event.TransientND, logged, 0, 0, "signal")
+	return sig, true
+}
+
+// Send transmits payload to process `to`.
+func (c *Ctx) Send(to int, payload []byte) error {
+	c.before(event.Send, event.Deterministic, "send")
+	if c.crashed {
+		// The recovery layer crashed the process in its pre-send hook
+		// (e.g. a refused commit): the send never happens.
+		return nil
+	}
+	id, err := c.p.World.send(c.p.Index, to, payload)
+	if err != nil {
+		return err
+	}
+	c.after(event.Send, event.Deterministic, false, id, to, "send")
+	return nil
+}
+
+// Recv consumes the next delivered message. ok=false means nothing has
+// arrived yet and the Program should return WaitMsg. A receive is a
+// transient non-deterministic event (message timing and ordering).
+func (c *Ctx) Recv() (Msg, bool) {
+	// Constrained re-execution: replay a logged receive without
+	// touching the inbox. The high-water mark still advances so that a
+	// rolled-back sender's re-sent duplicate of this message is
+	// filtered.
+	if r := c.p.World.Recovery; r != nil {
+		if v, ok := r.SupplyND(c.p, "recv"); ok {
+			m := DecodeMsgRecord(v)
+			if m.SendIdx > c.p.RecvHW[m.From] {
+				c.p.RecvHW[m.From] = m.SendIdx
+			}
+			c.before(event.Receive, event.TransientND, "recv")
+			c.after(event.Receive, event.TransientND, true, m.ID, m.From, "recv")
+			return m, true
+		}
+	}
+	// Position-gated redelivery of retained messages after a rollback:
+	// each message is handed back at the event position it was
+	// originally consumed at, so the re-execution interleaves receives
+	// with computation exactly as before the failure.
+	if len(c.p.replayQueue) > 0 {
+		head := c.p.replayQueue[0]
+		rel := c.p.Steps - c.p.retainBase
+		switch {
+		case rel == head.pos:
+			c.p.replayQueue = c.p.replayQueue[1:]
+			m := *head.m
+			c.before(event.Receive, event.TransientND, "recv")
+			c.p.retained = append(c.p.retained, retainedMsg{m: &m, pos: rel})
+			if m.SendIdx > c.p.RecvHW[m.From] {
+				c.p.RecvHW[m.From] = m.SendIdx
+			}
+			logged := false
+			if r := c.p.World.Recovery; r != nil {
+				logged = r.RecordND(c.p, "recv", EncodeMsgRecord(m))
+			}
+			c.after(event.Receive, event.TransientND, logged, m.ID, m.From, "recv")
+			return m, true
+		case rel < head.pos:
+			// Not due yet: let the program re-execute up to the
+			// consumption position. (If it instead blocks, the
+			// scheduler detects the divergence and flushes.)
+			return Msg{}, false
+		default: // rel > head.pos: ran past the due position
+			c.p.World.flushReplayQueue(c.p)
+		}
+	}
+	now := c.NowVirtual()
+	// Drop duplicates produced by re-executed sends: anything at or
+	// below the consumed high-water mark for its sender.
+	kept := c.p.inbox[:0]
+	for _, m := range c.p.inbox {
+		if m.DeliverAt <= now && m.SendIdx <= c.p.RecvHW[m.From] {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	c.p.inbox = kept
+	idx := -1
+	for i, m := range c.p.inbox {
+		if m.DeliverAt <= now && (idx < 0 || m.DeliverAt < c.p.inbox[idx].DeliverAt) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return Msg{}, false
+	}
+	m := c.p.inbox[idx]
+	rel := c.p.Steps - c.p.retainBase
+	c.before(event.Receive, event.TransientND, "recv")
+	c.p.inbox = append(c.p.inbox[:idx], c.p.inbox[idx+1:]...)
+	c.p.retained = append(c.p.retained, retainedMsg{m: m, pos: rel})
+	if m.SendIdx > c.p.RecvHW[m.From] {
+		c.p.RecvHW[m.From] = m.SendIdx
+	}
+	logged := false
+	if r := c.p.World.Recovery; r != nil {
+		logged = r.RecordND(c.p, "recv", EncodeMsgRecord(*m))
+	}
+	c.after(event.Receive, event.TransientND, logged, m.ID, m.From, "recv")
+	return *m, true
+}
+
+// Output emits a visible event the user can see. Visible events can never
+// be undone.
+func (c *Ctx) Output(s string) {
+	c.before(event.Visible, event.Deterministic, "output")
+	if c.crashed {
+		// Crashed in the pre-visible hook: nothing becomes visible.
+		return
+	}
+	w := c.p.World
+	w.Outputs[c.p.Index] = append(w.Outputs[c.p.Index], s)
+	w.GlobalOutputs = append(w.GlobalOutputs, fmt.Sprintf("p%d:%s", c.p.Index, s))
+	c.after(event.Visible, event.Deterministic, false, 0, 0, "output")
+}
+
+// Syscall calls into the simulated OS. The kernel classifies each call's
+// non-determinism; deterministic calls need no logging or commit support.
+func (c *Ctx) Syscall(name string, args ...[]byte) ([][]byte, error) {
+	os := c.p.World.OS
+	if os == nil {
+		return nil, fmt.Errorf("sim: no OS attached (syscall %s)", name)
+	}
+	ret, nd, err := os.Call(c.p.Index, name, args)
+	if err != nil {
+		return nil, err
+	}
+	c.before(event.Internal, nd, "sys."+name)
+	logged := false
+	if nd != event.Deterministic {
+		if r := c.p.World.Recovery; r != nil {
+			// During constrained re-execution a logged result
+			// replaces the live one (the live call above already
+			// replayed any kernel-state side effects).
+			if v, ok := r.SupplyND(c.p, "sys."+name); ok {
+				ret = DecodeParts(v)
+				logged = true
+			} else {
+				logged = r.RecordND(c.p, "sys."+name, EncodeParts(ret))
+			}
+		}
+	}
+	c.after(event.Internal, nd, logged, 0, 0, "sys."+name)
+	return ret, nil
+}
+
+// Fault consults the fault injector at a named site. Applications call it
+// at their instrumented fault points and apply the returned corruption
+// themselves.
+func (c *Ctx) Fault(site string) FaultKind {
+	if c.p.World.Faults == nil {
+		return NoFault
+	}
+	return c.p.World.Faults.At(c.p, site)
+}
+
+// EncodeMsgRecord serializes a message for the receive log.
+func EncodeMsgRecord(m Msg) []byte {
+	b := make([]byte, 24+len(m.Payload))
+	binary.LittleEndian.PutUint64(b[0:8], uint64(m.ID))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(m.From))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(m.SendIdx))
+	copy(b[24:], m.Payload)
+	return b
+}
+
+// DecodeMsgRecord is the inverse of EncodeMsgRecord.
+func DecodeMsgRecord(b []byte) Msg {
+	if len(b) < 24 {
+		return Msg{}
+	}
+	return Msg{
+		ID:      int64(binary.LittleEndian.Uint64(b[0:8])),
+		From:    int(binary.LittleEndian.Uint64(b[8:16])),
+		SendIdx: int64(binary.LittleEndian.Uint64(b[16:24])),
+		Payload: append([]byte(nil), b[24:]...),
+	}
+}
+
+// EncodeParts serializes a multi-part syscall result with length prefixes
+// so logged values can be replayed structurally intact.
+func EncodeParts(parts [][]byte) []byte {
+	var out []byte
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(parts)))
+	out = append(out, b[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(p)))
+		out = append(out, b[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// DecodeParts is the inverse of EncodeParts.
+func DecodeParts(data []byte) [][]byte {
+	if len(data) < 8 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint64(data[0:8]))
+	pos := 8
+	out := make([][]byte, 0, n)
+	for i := 0; i < n && pos+8 <= len(data); i++ {
+		l := int(binary.LittleEndian.Uint64(data[pos : pos+8]))
+		pos += 8
+		if pos+l > len(data) {
+			return out
+		}
+		out = append(out, append([]byte(nil), data[pos:pos+l]...))
+		pos += l
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"failtrans/internal/event"
+)
+
+// fakeOS serves a single syscall and records calls.
+type fakeOS struct {
+	calls []string
+	ret   [][]byte
+	nd    event.NDClass
+	err   error
+	saved []byte
+}
+
+func (f *fakeOS) Call(pid int, name string, args [][]byte) ([][]byte, event.NDClass, error) {
+	f.calls = append(f.calls, name)
+	return f.ret, f.nd, f.err
+}
+func (f *fakeOS) SaveProcState(pid int) []byte          { return f.saved }
+func (f *fakeOS) RestoreProcState(pid int, blob []byte) { f.saved = blob }
+
+// sysUser makes one syscall then finishes.
+type sysUser struct {
+	counter
+	Err error
+}
+
+func (p *sysUser) Step(ctx *Ctx) Status {
+	if p.Done > 0 {
+		return Done
+	}
+	p.Done++
+	_, p.Err = ctx.Syscall("stat", []byte("f"))
+	return Ready
+}
+
+func TestCtxSyscall(t *testing.T) {
+	w := NewWorld(1, &sysUser{})
+	os := &fakeOS{ret: [][]byte{{1, 2}}, nd: event.Deterministic}
+	w.OS = os
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(os.calls) != 1 || os.calls[0] != "stat" {
+		t.Errorf("calls = %v", os.calls)
+	}
+	if w.Procs[0].Prog.(*sysUser).Err != nil {
+		t.Error("syscall errored")
+	}
+	// Deterministic syscalls are recorded as deterministic events.
+	for _, e := range w.Trace.Events {
+		if e.Label == "sys.stat" && e.ND != event.Deterministic {
+			t.Errorf("sys.stat class = %v", e.ND)
+		}
+	}
+}
+
+func TestCtxSyscallNoOS(t *testing.T) {
+	w := NewWorld(1, &sysUser{})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Procs[0].Prog.(*sysUser).Err == nil {
+		t.Error("syscall without an OS must error")
+	}
+}
+
+func TestCtxSyscallKernelError(t *testing.T) {
+	w := NewWorld(1, &sysUser{})
+	w.OS = &fakeOS{err: errors.New("boom")}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Procs[0].Prog.(*sysUser).Err == nil {
+		t.Error("kernel error must propagate")
+	}
+}
+
+// faultUser visits a fault site each step.
+type faultUser struct {
+	counter
+	Kinds []FaultKind
+}
+
+func (p *faultUser) Step(ctx *Ctx) Status {
+	if p.Done >= 3 {
+		return Done
+	}
+	p.Done++
+	p.Kinds = append(p.Kinds, ctx.Fault("site.x"))
+	return Ready
+}
+
+type onceInjector struct{ fired bool }
+
+func (o *onceInjector) At(p *Proc, site string) FaultKind {
+	if o.fired || site != "site.x" {
+		return NoFault
+	}
+	o.fired = true
+	return OffByOne
+}
+
+func TestCtxFault(t *testing.T) {
+	w := NewWorld(1, &faultUser{})
+	w.Faults = &onceInjector{}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := w.Procs[0].Prog.(*faultUser).Kinds
+	if len(kinds) != 3 || kinds[0] != OffByOne || kinds[1] != NoFault {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// No injector: always NoFault.
+	w2 := NewWorld(1, &faultUser{})
+	if err := w2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range w2.Procs[0].Prog.(*faultUser).Kinds {
+		if k != NoFault {
+			t.Error("fault without injector")
+		}
+	}
+}
+
+func TestMsgRecordCodec(t *testing.T) {
+	m := Msg{ID: 7, From: 2, SendIdx: 99, Payload: []byte("data")}
+	got := DecodeMsgRecord(EncodeMsgRecord(m))
+	if got.ID != 7 || got.From != 2 || got.SendIdx != 99 || string(got.Payload) != "data" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if short := DecodeMsgRecord([]byte{1, 2}); short.ID != 0 {
+		t.Error("short record must decode to zero message")
+	}
+}
+
+func TestPartsCodec(t *testing.T) {
+	parts := [][]byte{{1, 2}, nil, {3}}
+	got := DecodeParts(EncodeParts(parts))
+	if len(got) != 3 || !bytes.Equal(got[0], []byte{1, 2}) || len(got[1]) != 0 || !bytes.Equal(got[2], []byte{3}) {
+		t.Errorf("round trip = %v", got)
+	}
+	if DecodeParts([]byte{1}) != nil {
+		t.Error("short parts must decode to nil")
+	}
+	// Truncated payload stops gracefully.
+	enc := EncodeParts([][]byte{{1, 2, 3, 4}})
+	if got := DecodeParts(enc[:len(enc)-2]); len(got) != 0 {
+		t.Errorf("truncated decode = %v", got)
+	}
+}
+
+func TestDelayParkedProcess(t *testing.T) {
+	w := NewWorld(1, &sleeper{})
+	if err := w.Init(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Procs[0]
+	w.Delay(p, 50*time.Millisecond)
+	if p.wake < 50*time.Millisecond {
+		t.Errorf("wake = %v", p.wake)
+	}
+	// Delay never moves the wake time before the clock.
+	w.Clock = 200 * time.Millisecond
+	w.Delay(p, -time.Hour)
+	if p.wake < w.Clock {
+		t.Errorf("wake %v fell behind clock %v", p.wake, w.Clock)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := NewWorld(2, &counter{N: 1}, &counter{N: 1})
+	p := w.Procs[1]
+	if p.Ctx().Proc() != p || p.Ctx().World() != w {
+		t.Error("accessor identity broken")
+	}
+	ev := w.RecordCommit(p, "manual")
+	if ev.Kind != event.Commit || ev.ID.P != 1 {
+		t.Errorf("RecordCommit = %v", ev)
+	}
+}
+
+func TestScheduleStopOrdering(t *testing.T) {
+	w := NewWorld(1, &counter{N: 10})
+	w.ScheduleStop(0, 8)
+	w.ScheduleStop(0, 3) // out of order: must fire at 3 first
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Without recovery the first stop kills the process.
+	if !w.Procs[0].Dead() {
+		t.Fatal("process should be dead")
+	}
+	if got := len(w.Outputs[0]); got != 3 {
+		t.Errorf("outputs before the earlier stop = %d, want 3", got)
+	}
+}

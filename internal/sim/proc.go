@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// safeStep runs one Program step, converting a runtime panic — an index out
+// of range, a nil dereference — into a crash event, exactly as corrupted
+// state crashes a real process. Applications detect faults and fail before
+// producing incorrect output (the paper's fail-before-output assumption);
+// the panic path models the detection the hardware/runtime provides for
+// free.
+func (p *Proc) safeStep() (st Status) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.ctx.crashed = true
+			p.ctx.crashReason = fmt.Sprintf("runtime panic: %v", r)
+			st = Crashed
+		}
+	}()
+	return p.Prog.Step(p.ctx)
+}
+
+// CheckpointImage assembles the image Discount Checking must persist for
+// this process: the application state plus the session/kernel state the
+// library reconstructs during recovery — the input cursor, the message
+// sequence counters, and (when an OS is attached) the per-process kernel
+// blob.
+//
+// With essential=true and a Program implementing PartialState, only the
+// application's essential state is captured (the §2.6 mitigation); the
+// image records which form it holds so RestoreCheckpointImage can dispatch.
+func (p *Proc) CheckpointImage(essential bool) ([]byte, error) {
+	var app []byte
+	var err error
+	mode := byte(0)
+	if ps, ok := p.Prog.(PartialState); ok && essential {
+		mode = 1
+		app, err = ps.MarshalEssential()
+	} else {
+		app, err = p.Prog.MarshalState()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: marshal %s state: %w", p.Prog.Name(), err)
+	}
+	var kern []byte
+	if p.World.OS != nil {
+		kern = p.World.OS.SaveProcState(p.Index)
+	}
+	img := []byte{mode}
+	putI64 := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		img = append(img, b[:]...)
+	}
+	putI64(int64(p.InputCursor))
+	putI64(p.SendSeq)
+	senders := make([]int, 0, len(p.RecvHW))
+	for s := range p.RecvHW {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
+	putI64(int64(len(senders)))
+	for _, s := range senders {
+		putI64(int64(s))
+		putI64(p.RecvHW[s])
+	}
+	putI64(int64(len(app)))
+	img = append(img, app...)
+	putI64(int64(len(kern)))
+	img = append(img, kern...)
+	return img, nil
+}
+
+// RestoreCheckpointImage is the inverse of CheckpointImage: it reloads
+// application state (full or essential, per the image's mode byte), the
+// session counters, and kernel state.
+func (p *Proc) RestoreCheckpointImage(img []byte) error {
+	if len(img) < 1 {
+		return fmt.Errorf("sim: empty checkpoint image")
+	}
+	mode := img[0]
+	img = img[1:]
+	pos := 0
+	getI64 := func() (int64, error) {
+		if pos+8 > len(img) {
+			return 0, fmt.Errorf("sim: checkpoint image truncated at byte %d", pos)
+		}
+		v := int64(binary.LittleEndian.Uint64(img[pos : pos+8]))
+		pos += 8
+		return v, nil
+	}
+	cursor, err := getI64()
+	if err != nil {
+		return err
+	}
+	sendSeq, err := getI64()
+	if err != nil {
+		return err
+	}
+	nhw, err := getI64()
+	if err != nil {
+		return err
+	}
+	hw := make(map[int]int64, nhw)
+	for i := int64(0); i < nhw; i++ {
+		s, err := getI64()
+		if err != nil {
+			return err
+		}
+		v, err := getI64()
+		if err != nil {
+			return err
+		}
+		hw[int(s)] = v
+	}
+	appLen, err := getI64()
+	if err != nil {
+		return err
+	}
+	if pos+int(appLen) > len(img) {
+		return fmt.Errorf("sim: checkpoint image app section overruns")
+	}
+	app := img[pos : pos+int(appLen)]
+	pos += int(appLen)
+	kernLen, err := getI64()
+	if err != nil {
+		return err
+	}
+	if pos+int(kernLen) > len(img) {
+		return fmt.Errorf("sim: checkpoint image kernel section overruns")
+	}
+	kern := img[pos : pos+int(kernLen)]
+	if mode == 1 {
+		ps, ok := p.Prog.(PartialState)
+		if !ok {
+			return fmt.Errorf("sim: essential image for %s, which lacks PartialState", p.Prog.Name())
+		}
+		if err := ps.UnmarshalEssential(app); err != nil {
+			return fmt.Errorf("sim: unmarshal %s essential state: %w", p.Prog.Name(), err)
+		}
+	} else if err := p.Prog.UnmarshalState(app); err != nil {
+		return fmt.Errorf("sim: unmarshal %s state: %w", p.Prog.Name(), err)
+	}
+	p.InputCursor = int(cursor)
+	p.SendSeq = sendSeq
+	p.RecvHW = hw
+	if p.World.OS != nil {
+		p.World.OS.RestoreProcState(p.Index, kern)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package sim
+
+import "sort"
+
+// ScheduleStop arranges a stop failure for process pid: at the start of its
+// next step once it has executed at least atStep events, the process
+// crashes without executing anything — modeling a power loss or frozen
+// machine. The recovery layer (if any) then rolls it back like any other
+// crash.
+func (w *World) ScheduleStop(pid, atStep int) {
+	p := w.Procs[pid]
+	p.stops = append(p.stops, atStep)
+	sort.Ints(p.stops)
+}
+
+// pendingStop pops a due stop failure.
+func (p *Proc) pendingStop() bool {
+	if len(p.stops) == 0 || p.Steps < p.stops[0] {
+		return false
+	}
+	p.stops = p.stops[1:]
+	return true
+}

@@ -1,0 +1,451 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"failtrans/internal/event"
+)
+
+// Msg is one message in flight or delivered.
+type Msg struct {
+	ID       int64
+	From, To int
+	// SendIdx is the per-sender sequence number, used to filter the
+	// duplicate messages that re-executed sends produce (the paper's
+	// requirement that applications "tolerate or filter duplicate
+	// messages" is met here by the runtime, as a transport layer would).
+	SendIdx   int64
+	Payload   []byte
+	DeliverAt time.Duration
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	Index int
+	Prog  Program
+	World *World
+
+	ctx    *Ctx
+	status Status
+	// wake is the earliest virtual time the process may run again.
+	wake time.Duration
+
+	inbox []*Msg
+	// retained holds messages consumed since the process's last commit,
+	// for redelivery if the process rolls back (the paper's "recovery
+	// buffer"). Each entry remembers the event position (relative to the
+	// last commit) at which it was consumed, so redelivery reproduces
+	// the original interleaving of receives with computation.
+	retained []retainedMsg
+	// retainBase anchors those relative positions.
+	retainBase int
+	// replayQueue holds retained messages being redelivered after a
+	// rollback, gated by position.
+	replayQueue []retainedMsg
+
+	rng *rand.Rand
+
+	// Steps counts event positions on this process; fault timelines and
+	// protocol bookkeeping are expressed in this counter.
+	Steps int
+	// Crashes counts how many times the process crashed.
+	Crashes int
+	// InputCursor indexes the scripted fixed-ND input; it is part of the
+	// state Discount Checking must checkpoint (kernel/session state).
+	InputCursor int
+	// SendSeq is the per-sender message sequence counter; rolled back
+	// with the process so re-executed sends reuse their indexes and the
+	// receivers' duplicate filters drop them.
+	SendSeq int64
+	// RecvHW records, per sender, the highest SendIdx consumed; messages
+	// at or below it are duplicates from a re-executed send.
+	RecvHW map[int]int64
+
+	stops []int
+	// signals is the pending signal queue (delivered by virtual time).
+	signals []pendingSignal
+	dead    bool
+}
+
+// pendingSignal is one scheduled asynchronous signal.
+type pendingSignal struct {
+	sig string
+	at  time.Duration
+}
+
+// Status returns the process's scheduling status.
+func (p *Proc) Status() Status { return p.status }
+
+// Ctx returns the process's runtime context.
+func (p *Proc) Ctx() *Ctx { return p.ctx }
+
+// Dead reports whether the process crashed and was not recovered.
+func (p *Proc) Dead() bool { return p.dead }
+
+// World is one simulated computation.
+type World struct {
+	Procs []*Proc
+	Clock time.Duration
+
+	// Recovery, if non-nil, intercepts events (Discount Checking).
+	Recovery Recovery
+	// OS, if non-nil, serves syscalls.
+	OS OS
+	// Faults, if non-nil, drives application fault injection.
+	Faults FaultInjector
+
+	// Latency is the one-way message latency (switched 100 Mb/s
+	// Ethernet era: ~100 µs for small messages).
+	Latency time.Duration
+
+	// RecordTrace enables full event-trace recording (needed by the
+	// invariant checkers; off for long benchmark runs).
+	RecordTrace bool
+	Trace       *event.Trace
+
+	// Outputs collects each process's visible output, in emission order.
+	Outputs [][]string
+	// GlobalOutputs interleaves all visible output in global order as
+	// "p<idx>:<payload>".
+	GlobalOutputs []string
+
+	// MaxTime aborts the run when the virtual clock passes it (0 = no
+	// limit); MaxSteps bounds total steps likewise.
+	MaxTime  time.Duration
+	MaxSteps int
+
+	// EventCount counts all recorded events (even with tracing off).
+	EventCount int64
+	// Debug enables diagnostics prints.
+	Debug bool
+
+	msgSeq    int64
+	stepCount int
+	seed      int64
+	inited    bool
+}
+
+// NewWorld creates a computation of the given programs, seeded
+// deterministically.
+func NewWorld(seed int64, progs ...Program) *World {
+	w := &World{
+		Latency:     100 * time.Microsecond,
+		Trace:       event.NewTrace(len(progs)),
+		Outputs:     make([][]string, len(progs)),
+		RecordTrace: true,
+		seed:        seed,
+	}
+	for i, prog := range progs {
+		p := &Proc{
+			Index:  i,
+			Prog:   prog,
+			World:  w,
+			rng:    rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x5851f42d4c957f2d)),
+			RecvHW: make(map[int]int64),
+		}
+		p.ctx = newCtx(p)
+		w.Procs = append(w.Procs, p)
+	}
+	return w
+}
+
+// record appends an event to the trace (when enabled) and invokes the
+// recovery layer's interception hooks around it. It returns the recorded
+// event.
+func (w *World) record(p *Proc, kind event.Kind, nd event.NDClass, logged bool, msg int64, peer int, label string) event.Event {
+	ev := event.Event{
+		ID:     event.ID{P: p.Index, I: -1},
+		Kind:   kind,
+		ND:     nd,
+		Logged: logged,
+		Msg:    msg,
+		Peer:   peer,
+		Label:  label,
+	}
+	w.EventCount++
+	p.Steps++
+	if w.RecordTrace {
+		return w.Trace.MustAppend(ev)
+	}
+	// Without tracing we still need a plausible ID for bookkeeping.
+	ev.ID.I = p.Steps
+	return ev
+}
+
+// RecordCommit lets the recovery layer mark a commit event on p's timeline.
+func (w *World) RecordCommit(p *Proc, label string) event.Event {
+	return w.record(p, event.Commit, event.Deterministic, false, 0, 0, label)
+}
+
+// AddTime charges virtual time to the currently stepping process p (commit
+// costs, recovery costs...).
+func (w *World) AddTime(p *Proc, d time.Duration) {
+	p.ctx.elapsed += d
+}
+
+// Delay pushes back the next wake-up of a parked process — used when a
+// coordinated commit charges time to processes other than the one whose
+// event triggered it.
+func (w *World) Delay(p *Proc, d time.Duration) {
+	p.wake += d
+	if p.wake < w.Clock {
+		p.wake = w.Clock
+	}
+}
+
+// send enqueues a message for delivery.
+func (w *World) send(from, to int, payload []byte) (int64, error) {
+	if to < 0 || to >= len(w.Procs) {
+		return 0, fmt.Errorf("sim: send to unknown process %d", to)
+	}
+	w.msgSeq++
+	src := w.Procs[from]
+	src.SendSeq++
+	m := &Msg{
+		ID:        w.msgSeq,
+		From:      from,
+		To:        to,
+		SendIdx:   src.SendSeq,
+		Payload:   append([]byte(nil), payload...),
+		DeliverAt: w.Clock + src.ctx.elapsed + w.Latency,
+	}
+	dst := w.Procs[to]
+	dst.inbox = append(dst.inbox, m)
+	return m.ID, nil
+}
+
+// retainedMsg is one consumed message plus the relative event position of
+// its consumption.
+type retainedMsg struct {
+	m   *Msg
+	pos int
+}
+
+// CommitPoint tells the network that p's consumed messages need no longer
+// be retained for redelivery: p's state, including their effects, is now
+// stable. It also re-anchors the position counter for future retention.
+func (w *World) CommitPoint(p *Proc) {
+	p.retained = p.retained[:0]
+	p.retainBase = p.Steps
+}
+
+// DropRetained clears the retained messages without re-anchoring the
+// position counter — used when a persistent log now covers redelivery of
+// everything consumed so far (an asynchronous log flush).
+func (w *World) DropRetained(p *Proc) {
+	p.retained = p.retained[:0]
+}
+
+// RequeueRetained arms redelivery of every message p consumed since its
+// last commit: each will be handed back to Recv at the same relative event
+// position it was originally consumed at, reproducing the pre-failure
+// interleaving. The recovery layer calls this when rolling p back.
+func (w *World) RequeueRetained(p *Proc) {
+	p.replayQueue = append(p.replayQueue[:0], p.retained...)
+	p.retained = p.retained[:0]
+	p.retainBase = p.Steps
+}
+
+// flushReplayQueue abandons position-gated redelivery (the re-execution
+// diverged) and moves the remaining messages to the inbox for live
+// consumption.
+func (w *World) flushReplayQueue(p *Proc) {
+	if w.Debug {
+		fmt.Printf("DEBUG flush p%d steps=%d base=%d queue=%d headpos=%d\n", p.Index, p.Steps, p.retainBase, len(p.replayQueue), p.replayQueue[0].pos)
+	}
+	pre := make([]*Msg, 0, len(p.replayQueue)+len(p.inbox))
+	for _, r := range p.replayQueue {
+		c := *r.m
+		c.DeliverAt = w.Clock
+		pre = append(pre, &c)
+	}
+	p.inbox = append(pre, p.inbox...)
+	p.replayQueue = p.replayQueue[:0]
+}
+
+// DeliverSignal schedules an asynchronous signal for pid at virtual time
+// `at`. Signals are the paper's canonical transient non-deterministic
+// events ("taking a signal"); programs observe them by polling
+// Ctx.TakeSignal.
+func (w *World) DeliverSignal(pid int, sig string, at time.Duration) {
+	p := w.Procs[pid]
+	p.signals = append(p.signals, pendingSignal{sig: sig, at: at})
+}
+
+// RequeueLogged reconstructs a logged-but-unreplayed message (an encoded
+// receive-log record) back into p's inbox after a re-execution divergence,
+// so it is not lost.
+func (w *World) RequeueLogged(p *Proc, record []byte) {
+	m := DecodeMsgRecord(record)
+	m.To = p.Index
+	m.DeliverAt = w.Clock
+	p.inbox = append(p.inbox, &m)
+}
+
+// readyAt returns the earliest time p can run, or ok=false if it never can.
+func (w *World) readyAt(p *Proc) (time.Duration, bool) {
+	if p.dead {
+		return 0, false
+	}
+	switch p.status {
+	case Ready:
+		return p.wake, true
+	case Sleeping:
+		return p.wake, true
+	case WaitMsg:
+		// A pending position-gated redelivery counts as an available
+		// message.
+		if len(p.replayQueue) > 0 {
+			return p.wake, true
+		}
+		best := time.Duration(-1)
+		for _, m := range p.inbox {
+			if best < 0 || m.DeliverAt < best {
+				best = m.DeliverAt
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		if best < p.wake {
+			best = p.wake
+		}
+		return best, true
+	default: // Done, Crashed (unrecovered)
+		return 0, false
+	}
+}
+
+// Step executes a single scheduling decision: pick the earliest runnable
+// process and run one Program step. It returns false when no process can
+// run.
+func (w *World) Step() (bool, error) {
+	var pick *Proc
+	var pickAt time.Duration
+	for _, p := range w.Procs {
+		at, ok := w.readyAt(p)
+		if !ok {
+			continue
+		}
+		if pick == nil || at < pickAt {
+			pick, pickAt = p, at
+		}
+	}
+	if pick == nil {
+		return false, nil
+	}
+	if pickAt > w.Clock {
+		w.Clock = pickAt
+	}
+	if w.MaxTime > 0 && w.Clock > w.MaxTime {
+		return false, nil
+	}
+	w.stepCount++
+	if w.MaxSteps > 0 && w.stepCount > w.MaxSteps {
+		return false, fmt.Errorf("sim: exceeded %d steps (livelock?)", w.MaxSteps)
+	}
+
+	p := pick
+	p.ctx.elapsed = 0
+	p.ctx.sleepFor = 0
+	var st Status
+	if p.pendingStop() {
+		p.ctx.crashed = true
+		p.ctx.crashReason = "stop failure"
+		st = Crashed
+	} else {
+		st = p.safeStep()
+	}
+	if p.ctx.crashed {
+		st = Crashed
+	}
+	if st != Crashed && w.Recovery != nil {
+		w.Recovery.EndStep(p)
+	}
+	// A process that blocks on messages while its gated redelivery head
+	// is not yet due has diverged from its pre-failure execution (the
+	// original could only have advanced past this point by consuming):
+	// fall back to live delivery.
+	if st == WaitMsg && len(p.replayQueue) > 0 {
+		if p.Steps-p.retainBase < p.replayQueue[0].pos {
+			w.flushReplayQueue(p)
+		}
+	}
+	// Give a log-replaying recovery layer the same chance: it may have a
+	// due record to supply (retry the step) or a divergence to resolve.
+	if st == WaitMsg && w.Recovery != nil && w.Recovery.OnBlocked(p) {
+		st = Ready
+		p.wake = w.Clock + p.ctx.elapsed
+	}
+	p.status = st
+	switch st {
+	case Ready:
+		p.wake = w.Clock + p.ctx.elapsed
+	case Sleeping:
+		p.wake = w.Clock + p.ctx.elapsed + p.ctx.sleepFor
+	case WaitMsg:
+		p.wake = w.Clock + p.ctx.elapsed
+	case Crashed:
+		p.Crashes++
+		p.ctx.crashed = false
+		recovered := false
+		if w.Recovery != nil {
+			recovered = w.Recovery.OnCrash(p, p.ctx.crashReason)
+		}
+		if recovered {
+			p.status = Ready
+			p.wake = w.Clock + p.ctx.elapsed
+		} else {
+			p.dead = true
+		}
+	case Done:
+		p.wake = w.Clock + p.ctx.elapsed
+	}
+	return true, nil
+}
+
+// Init initializes every program. Run calls it implicitly, but a harness
+// that must act between initialization and execution (e.g. to take the
+// initial checkpoint the theory assumes always exists) can call it first.
+func (w *World) Init() error {
+	if w.inited {
+		return nil
+	}
+	w.inited = true
+	for _, p := range w.Procs {
+		if err := p.Prog.Init(p.ctx); err != nil {
+			return fmt.Errorf("sim: init process %d (%s): %w", p.Index, p.Prog.Name(), err)
+		}
+		p.wake = w.Clock + p.ctx.elapsed
+		p.ctx.elapsed = 0
+	}
+	return nil
+}
+
+// Run drives the computation until nothing can run or a limit trips.
+func (w *World) Run() error {
+	if err := w.Init(); err != nil {
+		return err
+	}
+	for {
+		more, err := w.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// AllDone reports whether every process ran to completion.
+func (w *World) AllDone() bool {
+	for _, p := range w.Procs {
+		if p.status != Done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package statemachine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"failtrans/internal/event"
+)
+
+// WriteDot renders the machine and its dangerous-path coloring as a
+// Graphviz digraph: crash states are filled black (as in the paper's
+// figures), dangerous events are red, fixed-ND events are dashed, and
+// transient-ND events are dotted.
+func (c *Coloring) WriteDot(w io.Writer, name string) error {
+	m := c.m
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	for s := 0; s < m.NumStates; s++ {
+		attrs := ""
+		switch {
+		case m.CrashStates[StateID(s)]:
+			attrs = ", style=filled, fillcolor=black, fontcolor=white"
+		case c.CommitUnsafeAt(StateID(s)):
+			attrs = ", style=filled, fillcolor=mistyrose"
+		}
+		if StateID(s) == m.Start {
+			attrs += ", penwidth=2"
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"%d\"%s];\n", s, s, attrs)
+	}
+	for i, e := range m.Edges {
+		var style []string
+		switch e.ND {
+		case event.FixedND:
+			style = append(style, "style=dashed")
+		case event.TransientND:
+			style = append(style, "style=dotted")
+		}
+		if c.Dangerous(EventID(i)) {
+			style = append(style, "color=red", "fontcolor=red")
+		}
+		label := e.Label
+		if label == "" {
+			label = fmt.Sprintf("e%d", i)
+		}
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q", e.From, e.To, label)
+		if len(style) > 0 {
+			fmt.Fprintf(&b, ", %s", strings.Join(style, ", "))
+		}
+		b.WriteString("];\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,56 @@
+package statemachine
+
+import "failtrans/internal/event"
+
+// FromExecution builds the state machine of one executed path: state i
+// steps to state i+1 by executing events[i]. Each effectively-transient
+// non-deterministic event also gets an escape edge — the result it could
+// have had instead, leading to a state from which the paper conservatively
+// assumes completion is possible. If crashed is true the path's final state
+// is a crash state.
+//
+// This is the bridge between recorded traces and the Lose-work machinery:
+// running DangerousPaths on the result identifies exactly the commits that
+// doomed recovery.
+func FromExecution(events []event.Event, crashed bool) *Machine {
+	// Path states 0..n, plus one escape terminal per transient event.
+	n := len(events)
+	m := New(n + 1)
+	for i, e := range events {
+		nd := event.Deterministic
+		if e.EffectivelyND() {
+			nd = e.ND
+		}
+		m.AddEdge(Edge{From: StateID(i), To: StateID(i + 1), ND: nd, Msg: e.Msg, Label: e.Label})
+		if nd == event.TransientND {
+			escape := StateID(m.NumStates)
+			m.NumStates++
+			m.AddEdge(Edge{From: StateID(i), To: escape, ND: event.TransientND, Label: "escape"})
+		}
+	}
+	if crashed && n > 0 {
+		m.MarkCrash(StateID(n))
+	}
+	return m
+}
+
+// CommitViolations returns the indexes (into events) of the commit events
+// that lie on a dangerous path of the executed run — the Lose-work
+// violations the Lose-work Theorem forbids.
+func CommitViolations(events []event.Event, crashed bool) []int {
+	m := FromExecution(events, crashed)
+	c := m.DangerousPaths()
+	var out []int
+	edge := 0
+	for i, e := range events {
+		onPath := c.Dangerous(EventID(edge))
+		edge++
+		if e.EffectivelyND() && e.ND == event.TransientND {
+			edge++ // skip the escape edge
+		}
+		if e.Kind == event.Commit && onPath {
+			out = append(out, i)
+		}
+	}
+	return out
+}

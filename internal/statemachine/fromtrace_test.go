@@ -1,0 +1,129 @@
+package statemachine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"failtrans/internal/event"
+	"failtrans/internal/recovery"
+)
+
+func ev(kind event.Kind, nd event.NDClass) event.Event {
+	return event.Event{Kind: kind, ND: nd}
+}
+
+// TestFromExecutionPaperTimeline reproduces the Figure 9 timeline: a
+// transient ND event, fault activation (a plain deterministic event), a
+// visible event, then the crash. The commit Save-work demands between the
+// ND event and the visible event is exactly a Lose-work violation.
+func TestFromExecutionPaperTimeline(t *testing.T) {
+	events := []event.Event{
+		ev(event.Internal, event.TransientND),   // 0: transient ND
+		ev(event.Internal, event.Deterministic), // 1: fault activation
+		ev(event.Commit, event.Deterministic),   // 2: Save-work's forced commit
+		ev(event.Visible, event.Deterministic),  // 3: the visible event
+		ev(event.Internal, event.Deterministic), // 4: buggy continuation
+	}
+	viol := CommitViolations(events, true)
+	if len(viol) != 1 || viol[0] != 2 {
+		t.Errorf("violations = %v, want [2]", viol)
+	}
+	// The same run without a crash has no dangerous paths at all.
+	if viol := CommitViolations(events, false); len(viol) != 0 {
+		t.Errorf("no crash but violations %v", viol)
+	}
+}
+
+// TestFromExecutionCommitBeforeTransientSafe: a commit before the transient
+// ND event is off the dangerous path.
+func TestFromExecutionCommitBeforeTransientSafe(t *testing.T) {
+	events := []event.Event{
+		ev(event.Commit, event.Deterministic),
+		ev(event.Internal, event.TransientND),
+		ev(event.Internal, event.Deterministic),
+	}
+	if viol := CommitViolations(events, true); len(viol) != 0 {
+		t.Errorf("violations = %v, want none", viol)
+	}
+}
+
+// TestFromExecutionFixedNDNoEscape: fixed ND events give recovery no escape,
+// so commits before them still violate.
+func TestFromExecutionFixedNDNoEscape(t *testing.T) {
+	events := []event.Event{
+		ev(event.Commit, event.Deterministic),
+		ev(event.Internal, event.FixedND),
+		ev(event.Internal, event.Deterministic),
+	}
+	viol := CommitViolations(events, true)
+	if len(viol) != 1 || viol[0] != 0 {
+		t.Errorf("violations = %v, want [0]", viol)
+	}
+}
+
+// TestFromExecutionLoggedTransientPinned: a logged transient event replays
+// identically, so it cannot rescue recovery — the dangerous path runs
+// through it.
+func TestFromExecutionLoggedTransientPinned(t *testing.T) {
+	events := []event.Event{
+		ev(event.Commit, event.Deterministic),
+		{Kind: event.Internal, ND: event.TransientND, Logged: true},
+		ev(event.Internal, event.Deterministic),
+	}
+	viol := CommitViolations(events, true)
+	if len(viol) != 1 {
+		t.Errorf("violations = %v, want the pre-logged-event commit", viol)
+	}
+}
+
+// TestCommitViolationsMatchFaultTimeline: the machine-based Lose-work check
+// agrees with the recovery package's timeline criterion on random
+// executions — two independent formulations of the same theorem.
+func TestCommitViolationsMatchFaultTimeline(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		events := make([]event.Event, 0, n)
+		var commits []int
+		lastTransient := -1
+		for i := 0; i < n; i++ {
+			switch r.Intn(5) {
+			case 0:
+				events = append(events, ev(event.Commit, event.Deterministic))
+				commits = append(commits, i)
+			case 1:
+				events = append(events, ev(event.Internal, event.TransientND))
+				lastTransient = i
+			case 2:
+				events = append(events, ev(event.Internal, event.FixedND))
+			default:
+				events = append(events, ev(event.Internal, event.Deterministic))
+			}
+		}
+		// The crash happens after the last event.
+		ft := recovery.FaultTimeline{
+			Commits:         commits,
+			LastTransientND: lastTransient,
+			Activation:      n - 1, // somewhere on the path; irrelevant to the full criterion
+			Crash:           n,
+		}
+		machineViolates := len(CommitViolations(events, true)) > 0
+		timelineViolates := ft.ViolatesLoseWork()
+		if lastTransient < 0 {
+			// Bohrbug: the timeline criterion says inherent violation
+			// (the initial state is always committed); the machine
+			// only sees the commits actually in the window.
+			return timelineViolates
+		}
+		if machineViolates != timelineViolates {
+			t.Logf("seed %d: machine=%v timeline=%v (lastTransient=%d commits=%v)",
+				seed, machineViolates, timelineViolates, lastTransient, commits)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package statemachine
+
+import (
+	"fmt"
+
+	"failtrans/internal/event"
+)
+
+// CommitSnapshot records, for every process in a computation, the local
+// index of its last commit event (-1 if the process has never committed).
+// It is the "snapshot of where each process in the computation last
+// committed" that the Multi-Process Dangerous Paths Algorithm collects.
+type CommitSnapshot []int
+
+// SnapshotFromTrace computes the commit snapshot at the end of a trace.
+func SnapshotFromTrace(tr *event.Trace) CommitSnapshot {
+	snap := make(CommitSnapshot, tr.NumProcs)
+	for i := range snap {
+		snap[i] = -1
+	}
+	for _, e := range tr.Events {
+		if e.Kind == event.Commit {
+			snap[e.ID.P] = e.ID.I
+		}
+	}
+	return snap
+}
+
+// ClassifyReceives implements the reclassification step of the
+// Multi-Process Dangerous Paths Algorithm for process p: each receive event
+// p has executed is treated as a transient non-deterministic event if the
+// sender's last commit occurred before the send and the sender executed a
+// transient non-deterministic event between its last commit and the send;
+// all other receives are fixed non-deterministic.
+//
+// The returned map is keyed by the receive event's ID in the trace.
+func ClassifyReceives(tr *event.Trace, p int, snap CommitSnapshot) (map[event.ID]event.NDClass, error) {
+	if len(snap) != tr.NumProcs {
+		return nil, fmt.Errorf("statemachine: snapshot for %d processes, trace has %d", len(snap), tr.NumProcs)
+	}
+	// Locate each send by message id.
+	type sendInfo struct {
+		proc  int
+		index int
+	}
+	sends := make(map[int64]sendInfo)
+	for _, e := range tr.Events {
+		if e.Kind == event.Send && e.Msg != 0 {
+			sends[e.Msg] = sendInfo{proc: e.ID.P, index: e.ID.I}
+		}
+	}
+	// Per process, the sorted indexes of transient ND events.
+	transients := make([][]int, tr.NumProcs)
+	for _, e := range tr.Events {
+		if e.ND == event.TransientND && !e.Logged {
+			transients[e.ID.P] = append(transients[e.ID.P], e.ID.I)
+		}
+	}
+	hasTransientIn := func(proc, after, before int) bool {
+		for _, i := range transients[proc] {
+			if i > after && i < before {
+				return true
+			}
+		}
+		return false
+	}
+	out := make(map[event.ID]event.NDClass)
+	for _, e := range tr.Events {
+		if e.ID.P != p || e.Kind != event.Receive {
+			continue
+		}
+		class := event.FixedND
+		if s, ok := sends[e.Msg]; ok {
+			lastCommit := snap[s.proc]
+			if lastCommit < s.index && hasTransientIn(s.proc, lastCommit, s.index) {
+				class = event.TransientND
+			}
+		}
+		out[e.ID] = class
+	}
+	return out, nil
+}
+
+// ReclassifyReceives returns a copy of m with the ND class of each receive
+// edge (Msg != 0) replaced according to class, keyed by message id. Receive
+// edges with no entry in class default to fixed non-deterministic, the
+// conservative choice.
+func ReclassifyReceives(m *Machine, class map[int64]event.NDClass) *Machine {
+	out := &Machine{NumStates: m.NumStates, Start: m.Start, CrashStates: make(map[StateID]bool, len(m.CrashStates))}
+	for s := range m.CrashStates {
+		out.CrashStates[s] = true
+	}
+	out.Edges = make([]Edge, len(m.Edges))
+	copy(out.Edges, m.Edges)
+	for i := range out.Edges {
+		e := &out.Edges[i]
+		if e.Msg == 0 {
+			continue
+		}
+		if c, ok := class[e.Msg]; ok {
+			e.ND = c
+		} else {
+			e.ND = event.FixedND
+		}
+	}
+	return out
+}
+
+// MultiProcessDangerousPaths runs the full multi-process algorithm for
+// process p: collect the commit snapshot from the trace, classify p's
+// receives, apply the classification to p's machine (receive edges matched
+// by message id), and run the single-process algorithm.
+func MultiProcessDangerousPaths(m *Machine, tr *event.Trace, p int) (*Coloring, error) {
+	snap := SnapshotFromTrace(tr)
+	byID, err := ClassifyReceives(tr, p, snap)
+	if err != nil {
+		return nil, err
+	}
+	// Re-key by message id so the machine's receive edges can be matched.
+	byMsg := make(map[int64]event.NDClass)
+	for id, class := range byID {
+		for _, e := range tr.Events {
+			if e.ID == id {
+				byMsg[e.Msg] = class
+			}
+		}
+	}
+	return ReclassifyReceives(m, byMsg).DangerousPaths(), nil
+}

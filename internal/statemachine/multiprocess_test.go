@@ -1,0 +1,151 @@
+package statemachine
+
+import (
+	"testing"
+
+	"failtrans/internal/event"
+)
+
+// figure2Trace builds the paper's Figure 2: process B executes a transient
+// ND event then sends to A; A receives. withCommit controls whether B
+// commits between its ND event and the send.
+func figure2Trace(withCommit bool) *event.Trace {
+	tr := event.NewTrace(2)
+	tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Internal, ND: event.TransientND, Label: "ND"})
+	if withCommit {
+		tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Commit})
+	}
+	tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Send, Msg: 1, Peer: 0})
+	tr.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Receive, Msg: 1, Peer: 1})
+	return tr
+}
+
+func TestSnapshotFromTrace(t *testing.T) {
+	tr := figure2Trace(true)
+	snap := SnapshotFromTrace(tr)
+	if snap[0] != -1 {
+		t.Errorf("A never committed, snapshot = %d", snap[0])
+	}
+	if snap[1] != 1 {
+		t.Errorf("B's last commit should be local index 1, got %d", snap[1])
+	}
+}
+
+// TestClassifyReceivesTransient: with B uncommitted, A's receive carries B's
+// transient non-determinism and must be classified transient.
+func TestClassifyReceivesTransient(t *testing.T) {
+	tr := figure2Trace(false)
+	snap := SnapshotFromTrace(tr)
+	class, err := ClassifyReceives(tr, 0, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvID := event.ID{P: 0, I: 0}
+	if class[recvID] != event.TransientND {
+		t.Errorf("receive classified %v, want transient", class[recvID])
+	}
+}
+
+// TestClassifyReceivesFixed: once B commits after its ND event and before
+// the send, A's receive is fixed — B will regenerate the same message
+// deterministically during recovery.
+func TestClassifyReceivesFixed(t *testing.T) {
+	tr := figure2Trace(true)
+	snap := SnapshotFromTrace(tr)
+	class, err := ClassifyReceives(tr, 0, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvID := event.ID{P: 0, I: 0}
+	if class[recvID] != event.FixedND {
+		t.Errorf("receive classified %v, want fixed", class[recvID])
+	}
+}
+
+// TestClassifyReceivesLoggedTransientIgnored: a logged transient event is
+// effectively deterministic, so it does not make downstream receives
+// transient.
+func TestClassifyReceivesLoggedTransientIgnored(t *testing.T) {
+	tr := event.NewTrace(2)
+	tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Internal, ND: event.TransientND, Logged: true})
+	tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Send, Msg: 1, Peer: 0})
+	tr.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Receive, Msg: 1, Peer: 1})
+	class, err := ClassifyReceives(tr, 0, SnapshotFromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class[event.ID{P: 0, I: 0}] != event.FixedND {
+		t.Error("receive downstream of a logged transient must be fixed")
+	}
+}
+
+func TestClassifyReceivesBadSnapshot(t *testing.T) {
+	tr := figure2Trace(false)
+	if _, err := ClassifyReceives(tr, 0, CommitSnapshot{-1}); err == nil {
+		t.Error("snapshot of the wrong size must be rejected")
+	}
+}
+
+func TestClassifyReceivesUnmatchedSend(t *testing.T) {
+	tr := event.NewTrace(2)
+	tr.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Receive, Msg: 9, Peer: 1})
+	class, err := ClassifyReceives(tr, 0, SnapshotFromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class[event.ID{P: 0, I: 0}] != event.FixedND {
+		t.Error("receive with unknown sender must default to fixed")
+	}
+}
+
+func TestReclassifyReceives(t *testing.T) {
+	m := New(4)
+	m.AddEdge(Edge{From: 0, To: 1, ND: event.TransientND, Msg: 7, Label: "recv"})
+	m.AddEdge(Edge{From: 0, To: 2, ND: event.TransientND, Msg: 8, Label: "recv other"})
+	m.AddEdge(Edge{From: 1, To: 3, ND: event.TransientND, Label: "not a receive"})
+	out := ReclassifyReceives(m, map[int64]event.NDClass{7: event.TransientND})
+	if out.Edges[0].ND != event.TransientND {
+		t.Error("classified receive must keep its assigned class")
+	}
+	if out.Edges[1].ND != event.FixedND {
+		t.Error("unclassified receive must default to fixed")
+	}
+	if out.Edges[2].ND != event.TransientND {
+		t.Error("non-receive edges must be untouched")
+	}
+	// The original machine must not be mutated.
+	if m.Edges[1].ND != event.TransientND {
+		t.Error("ReclassifyReceives mutated its input")
+	}
+}
+
+// TestMultiProcessDangerousPaths: A's machine receives a message and then
+// runs deterministically into a possible crash. If the sender's
+// non-determinism is uncommitted, the receive is transient and A may safely
+// commit before it; if the sender committed, the receive is fixed and the
+// pre-receive state is dangerous.
+func TestMultiProcessDangerousPaths(t *testing.T) {
+	machineA := New(4)
+	machineA.AddEdge(Edge{From: 0, To: 1, ND: event.TransientND, Msg: 1, Label: "recv bad"})
+	machineA.AddEdge(Edge{From: 0, To: 3, ND: event.TransientND, Msg: 1, Label: "recv ok"})
+	machineA.AddEdge(Edge{From: 1, To: 2, Label: "det crash path"})
+	machineA.MarkCrash(2)
+
+	// Sender uncommitted: receive stays transient; state 0 safe.
+	c, err := MultiProcessDangerousPaths(machineA, figure2Trace(false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CommitUnsafeAt(0) {
+		t.Error("with transient receive, commit before it should be safe")
+	}
+
+	// Sender committed: receive fixed; state 0 dangerous.
+	c, err = MultiProcessDangerousPaths(machineA, figure2Trace(true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CommitUnsafeAt(0) {
+		t.Error("with fixed receive into a crash path, commit before it must be unsafe")
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"failtrans/internal/event"
+)
+
+// FuzzLoad: arbitrary input must load or error, never panic; successful
+// loads must re-save identically.
+func FuzzLoad(f *testing.F) {
+	tr := event.NewTrace(2)
+	tr.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Send, Msg: 1, Peer: 1})
+	tr.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Receive, Msg: 1, Peer: 0, ND: event.TransientND})
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"numProcs":1,"events":0}`)
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := Load(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Save(&out, got); err != nil {
+			t.Fatalf("re-save of loaded trace failed: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("re-load failed: %v", err)
+		}
+		if len(again.Events) != len(got.Events) {
+			t.Fatal("round trip changed event count")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+// Package trace serializes recorded event traces and computes summary
+// statistics over them, so runs can be archived, diffed, and re-checked
+// offline (cmd/ftsim can dump a trace; the checkers in internal/recovery
+// can be re-run over a loaded one).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"failtrans/internal/event"
+)
+
+// jsonEvent is the stable on-disk form of one event.
+type jsonEvent struct {
+	P      int    `json:"p"`
+	I      int    `json:"i"`
+	Kind   uint8  `json:"k"`
+	ND     uint8  `json:"nd,omitempty"`
+	Logged bool   `json:"lg,omitempty"`
+	Msg    int64  `json:"m,omitempty"`
+	Peer   int    `json:"pe,omitempty"`
+	Label  string `json:"l,omitempty"`
+}
+
+type header struct {
+	Version  int `json:"version"`
+	NumProcs int `json:"numProcs"`
+	Events   int `json:"events"`
+}
+
+// Save writes a trace as a JSON-lines stream: one header line, then one
+// line per event.
+func Save(w io.Writer, t *event.Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Version: 1, NumProcs: t.NumProcs, Events: len(t.Events)}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, e := range t.Events {
+		je := jsonEvent{
+			P: e.ID.P, I: e.ID.I, Kind: uint8(e.Kind), ND: uint8(e.ND),
+			Logged: e.Logged, Msg: e.Msg, Peer: e.Peer, Label: e.Label,
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace written by Save, re-validating event ordering.
+func Load(r io.Reader) (*event.Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", h.Version)
+	}
+	if h.NumProcs <= 0 || h.NumProcs > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible process count %d", h.NumProcs)
+	}
+	t := event.NewTrace(h.NumProcs)
+	for i := 0; i < h.Events; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		_, err := t.Append(event.Event{
+			ID:     event.ID{P: je.P, I: je.I},
+			Kind:   event.Kind(je.Kind),
+			ND:     event.NDClass(je.ND),
+			Logged: je.Logged,
+			Msg:    je.Msg,
+			Peer:   je.Peer,
+			Label:  je.Label,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Summary aggregates a trace's event mix.
+type Summary struct {
+	NumProcs int
+	Events   int
+	ByKind   map[event.Kind]int
+	// EffectivelyND counts events still non-deterministic after logging.
+	EffectivelyND int
+	// Commits per process.
+	CommitsPerProc []int
+	// MessagesMatched counts receives whose send is in the trace.
+	MessagesMatched   int
+	MessagesUnmatched int
+}
+
+// Summarize computes a Summary.
+func Summarize(t *event.Trace) Summary {
+	s := Summary{
+		NumProcs:       t.NumProcs,
+		Events:         len(t.Events),
+		ByKind:         make(map[event.Kind]int),
+		CommitsPerProc: make([]int, t.NumProcs),
+	}
+	sends := make(map[int64]bool)
+	for _, e := range t.Events {
+		s.ByKind[e.Kind]++
+		if e.EffectivelyND() {
+			s.EffectivelyND++
+		}
+		switch e.Kind {
+		case event.Commit:
+			s.CommitsPerProc[e.ID.P]++
+		case event.Send:
+			sends[e.Msg] = true
+		case event.Receive:
+			if sends[e.Msg] {
+				s.MessagesMatched++
+			} else {
+				s.MessagesUnmatched++
+			}
+		}
+	}
+	return s
+}
+
+// String renders the summary in one block.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"procs=%d events=%d visible=%d send=%d recv=%d commit=%d effND=%d matched=%d unmatched=%d",
+		s.NumProcs, s.Events, s.ByKind[event.Visible], s.ByKind[event.Send],
+		s.ByKind[event.Receive], s.ByKind[event.Commit], s.EffectivelyND,
+		s.MessagesMatched, s.MessagesUnmatched)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"failtrans/internal/event"
+)
+
+func sample() *event.Trace {
+	t := event.NewTrace(2)
+	t.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Internal, ND: event.TransientND, Label: "rand"})
+	t.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Commit})
+	t.MustAppend(event.Event{ID: event.ID{P: 0, I: -1}, Kind: event.Send, Msg: 9, Peer: 1})
+	t.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Receive, Msg: 9, Peer: 0, ND: event.TransientND, Logged: true})
+	t.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Visible, Label: "out"})
+	t.MustAppend(event.Event{ID: event.ID{P: 1, I: -1}, Kind: event.Receive, Msg: 77, Peer: 0, ND: event.TransientND})
+	return t
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Save(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcs != tr.NumProcs || len(got.Events) != len(tr.Events) {
+		t.Fatalf("shape mismatch: %d/%d", got.NumProcs, len(got.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":2,"numProcs":1,"events":0}`)); err == nil {
+		t.Error("unknown version must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"numProcs":0,"events":0}`)); err == nil {
+		t.Error("zero processes must fail")
+	}
+	// Out-of-order events must be rejected by the trace validator.
+	in := `{"version":1,"numProcs":1,"events":1}
+{"p":0,"i":5,"k":0}
+`
+	if _, err := Load(strings.NewReader(in)); err == nil {
+		t.Error("out-of-order event must fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Events != 6 || s.NumProcs != 2 {
+		t.Errorf("summary shape: %+v", s)
+	}
+	if s.ByKind[event.Visible] != 1 || s.ByKind[event.Send] != 1 || s.ByKind[event.Receive] != 2 {
+		t.Errorf("kind counts: %v", s.ByKind)
+	}
+	// rand is effectively ND; the logged receive is not; the unmatched
+	// receive is.
+	if s.EffectivelyND != 2 {
+		t.Errorf("EffectivelyND = %d, want 2", s.EffectivelyND)
+	}
+	if s.CommitsPerProc[0] != 1 || s.CommitsPerProc[1] != 0 {
+		t.Errorf("commits = %v", s.CommitsPerProc)
+	}
+	if s.MessagesMatched != 1 || s.MessagesUnmatched != 1 {
+		t.Errorf("matched/unmatched = %d/%d", s.MessagesMatched, s.MessagesUnmatched)
+	}
+	str := s.String()
+	if !strings.Contains(str, "events=6") {
+		t.Errorf("String = %q", str)
+	}
+}

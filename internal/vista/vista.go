@@ -1,0 +1,207 @@
+// Package vista reimplements the mechanism of the Vista transaction library
+// (Lowell & Chen, SOSP 1997) that Discount Checking is built on: a process
+// maps its state into a segment of reliable memory; updates are trapped at
+// page granularity (copy-on-write in the original, explicit Write calls
+// here); before-images of updated pages go to a persistent undo log; and a
+// commit atomically saves the register file, discards the undo log, and
+// re-arms the write traps.
+//
+// Rolling back a process is applying the undo log in reverse; recovering
+// after a crash is the same operation, because the undo log itself lives in
+// reliable memory.
+package vista
+
+import "fmt"
+
+// DefaultPageSize matches the i386 page size the original used.
+const DefaultPageSize = 4096
+
+// Stats reports what a commit had to write.
+type Stats struct {
+	// Pages is the number of distinct pages dirtied since the previous
+	// commit.
+	Pages int
+	// Bytes is the total payload a commit must persist: the dirtied
+	// pages plus the register file.
+	Bytes int
+}
+
+type undoRec struct {
+	page int
+	data []byte
+}
+
+// Segment is one process's persistent address space plus its undo log.
+// The zero value is not usable; call NewSegment.
+type Segment struct {
+	pageSize int
+	mem      []byte
+	undo     []undoRec
+	dirty    map[int]bool
+	savedReg []byte
+
+	// CommitCount and LoggedBytes accumulate usage statistics.
+	CommitCount int
+	LoggedBytes int64
+}
+
+// NewSegment returns a segment of the given initial size. pageSize <= 0
+// selects DefaultPageSize.
+func NewSegment(size, pageSize int) *Segment {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Segment{
+		pageSize: pageSize,
+		mem:      make([]byte, size),
+		dirty:    make(map[int]bool),
+	}
+}
+
+// PageSize returns the trap granularity.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// Size returns the current segment size in bytes.
+func (s *Segment) Size() int { return len(s.mem) }
+
+// grow extends the segment to at least n bytes. New memory is zeroed and
+// considered committed (like fresh pages from the OS).
+func (s *Segment) grow(n int) {
+	if n <= len(s.mem) {
+		return
+	}
+	bigger := make([]byte, n)
+	copy(bigger, s.mem)
+	s.mem = bigger
+}
+
+// touchPage logs the before-image of page p on its first write since the
+// last commit.
+func (s *Segment) touchPage(p int) {
+	if s.dirty[p] {
+		return
+	}
+	s.dirty[p] = true
+	start := p * s.pageSize
+	end := start + s.pageSize
+	if end > len(s.mem) {
+		end = len(s.mem)
+	}
+	img := make([]byte, end-start)
+	copy(img, s.mem[start:end])
+	s.undo = append(s.undo, undoRec{page: p, data: img})
+	s.LoggedBytes += int64(len(img))
+}
+
+// Write copies data into the segment at off, growing it as needed and
+// logging before-images of every touched page.
+func (s *Segment) Write(off int, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("vista: negative offset %d", off)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	s.grow(off + len(data))
+	for p := off / s.pageSize; p <= (off+len(data)-1)/s.pageSize; p++ {
+		s.touchPage(p)
+	}
+	copy(s.mem[off:], data)
+	return nil
+}
+
+// Read copies n bytes at off out of the segment.
+func (s *Segment) Read(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(s.mem) {
+		return nil, fmt.Errorf("vista: read [%d,%d) outside segment of %d bytes", off, off+n, len(s.mem))
+	}
+	out := make([]byte, n)
+	copy(out, s.mem[off:])
+	return out, nil
+}
+
+// SetContents replaces the whole segment with data, but touches only the
+// pages that actually differ — the analogue of copy-on-write, where clean
+// pages never fault. It is the path Discount Checking uses to lay a
+// serialized process image into the segment.
+func (s *Segment) SetContents(data []byte) {
+	s.grow(len(data))
+	// Pages beyond len(data) that contain old bytes must be cleared.
+	limit := len(s.mem)
+	for start := 0; start < limit; start += s.pageSize {
+		end := start + s.pageSize
+		if end > limit {
+			end = limit
+		}
+		var src []byte
+		switch {
+		case start >= len(data):
+			src = nil
+		case end > len(data):
+			src = data[start:len(data):len(data)]
+		default:
+			src = data[start:end]
+		}
+		if pageEqual(s.mem[start:end], src) {
+			continue
+		}
+		s.touchPage(start / s.pageSize)
+		n := copy(s.mem[start:end], src)
+		for i := start + n; i < end; i++ {
+			s.mem[i] = 0
+		}
+	}
+}
+
+// pageEqual compares a memory page against src, treating bytes beyond
+// len(src) as zero.
+func pageEqual(page, src []byte) bool {
+	for i := range page {
+		var b byte
+		if i < len(src) {
+			b = src[i]
+		}
+		if page[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Contents returns a copy of the full segment.
+func (s *Segment) Contents() []byte {
+	out := make([]byte, len(s.mem))
+	copy(out, s.mem)
+	return out
+}
+
+// DirtyPages returns how many pages have been touched since the last
+// commit.
+func (s *Segment) DirtyPages() int { return len(s.dirty) }
+
+// Commit atomically saves the register file, discards the undo log, and
+// re-arms the page traps. It returns what had to be written to stable
+// storage.
+func (s *Segment) Commit(registers []byte) Stats {
+	st := Stats{Pages: len(s.dirty), Bytes: len(s.dirty)*s.pageSize + len(registers)}
+	s.savedReg = append(s.savedReg[:0], registers...)
+	s.undo = s.undo[:0]
+	s.dirty = make(map[int]bool)
+	s.CommitCount++
+	return st
+}
+
+// Rollback applies the undo log in reverse, returning the segment to its
+// last committed state, and returns the saved register file. After a
+// simulated crash this is exactly recovery: the undo log is persistent.
+func (s *Segment) Rollback() []byte {
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		rec := s.undo[i]
+		copy(s.mem[rec.page*s.pageSize:], rec.data)
+	}
+	s.undo = s.undo[:0]
+	s.dirty = make(map[int]bool)
+	reg := make([]byte, len(s.savedReg))
+	copy(reg, s.savedReg)
+	return reg
+}

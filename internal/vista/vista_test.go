@@ -1,0 +1,212 @@
+package vista
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewSegment(1024, 256)
+	if err := s.Write(100, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestWriteGrows(t *testing.T) {
+	s := NewSegment(0, 256)
+	if err := s.Write(1000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() < 1003 {
+		t.Errorf("Size = %d, want >= 1003", s.Size())
+	}
+}
+
+func TestWriteNegativeOffset(t *testing.T) {
+	s := NewSegment(10, 0)
+	if err := s.Write(-1, []byte{1}); err == nil {
+		t.Error("negative offset must error")
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	s := NewSegment(10, 0)
+	if _, err := s.Read(5, 10); err == nil {
+		t.Error("read past end must error")
+	}
+	if _, err := s.Read(-1, 2); err == nil {
+		t.Error("negative read offset must error")
+	}
+}
+
+func TestRollbackRestoresCommittedState(t *testing.T) {
+	s := NewSegment(512, 256)
+	s.Write(0, []byte("committed"))
+	s.Commit([]byte("regs1"))
+	s.Write(0, []byte("scribbled"))
+	s.Write(300, []byte("more"))
+	reg := s.Rollback()
+	got, _ := s.Read(0, 9)
+	if string(got) != "committed" {
+		t.Errorf("after rollback = %q", got)
+	}
+	if string(reg) != "regs1" {
+		t.Errorf("registers = %q", reg)
+	}
+	more, _ := s.Read(300, 4)
+	if !bytes.Equal(more, make([]byte, 4)) {
+		t.Errorf("uncommitted write survived rollback: %v", more)
+	}
+}
+
+func TestDirtyPageAccounting(t *testing.T) {
+	s := NewSegment(4*256, 256)
+	s.Write(0, []byte{1})
+	s.Write(10, []byte{2}) // same page
+	if s.DirtyPages() != 1 {
+		t.Errorf("DirtyPages = %d, want 1", s.DirtyPages())
+	}
+	s.Write(255, []byte{3, 4}) // straddles pages 0 and 1
+	if s.DirtyPages() != 2 {
+		t.Errorf("DirtyPages = %d, want 2", s.DirtyPages())
+	}
+	st := s.Commit(nil)
+	if st.Pages != 2 || st.Bytes != 2*256 {
+		t.Errorf("Commit stats = %+v", st)
+	}
+	if s.DirtyPages() != 0 {
+		t.Error("commit must clear dirty set")
+	}
+}
+
+func TestUndoLoggedOncePerPage(t *testing.T) {
+	s := NewSegment(256, 256)
+	s.Write(0, []byte{1})
+	before := s.LoggedBytes
+	s.Write(5, []byte{2})
+	if s.LoggedBytes != before {
+		t.Error("second write to a dirty page must not log again")
+	}
+}
+
+func TestSetContentsDiffsPages(t *testing.T) {
+	s := NewSegment(0, 256)
+	img := make([]byte, 1024)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	s.SetContents(img)
+	s.Commit(nil)
+
+	// Change one byte in page 2 only.
+	img2 := append([]byte(nil), img...)
+	img2[600] ^= 0xff
+	s.SetContents(img2)
+	if s.DirtyPages() != 1 {
+		t.Errorf("DirtyPages after one-byte change = %d, want 1", s.DirtyPages())
+	}
+	if !bytes.Equal(s.Contents(), img2) {
+		t.Error("contents mismatch after SetContents")
+	}
+}
+
+func TestSetContentsShrinkZeroesTail(t *testing.T) {
+	s := NewSegment(0, 256)
+	s.SetContents(bytes.Repeat([]byte{0xaa}, 1000))
+	s.Commit(nil)
+	s.SetContents([]byte{1, 2, 3})
+	got := s.Contents()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Error("head not written")
+	}
+	for i := 3; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("stale byte at %d after shrinking SetContents", i)
+		}
+	}
+}
+
+func TestSetContentsIdenticalTouchesNothing(t *testing.T) {
+	s := NewSegment(0, 256)
+	img := bytes.Repeat([]byte{7}, 512)
+	s.SetContents(img)
+	s.Commit(nil)
+	s.SetContents(img)
+	if s.DirtyPages() != 0 {
+		t.Errorf("identical SetContents dirtied %d pages", s.DirtyPages())
+	}
+}
+
+func TestCommitCount(t *testing.T) {
+	s := NewSegment(10, 0)
+	s.Commit(nil)
+	s.Commit(nil)
+	if s.CommitCount != 2 {
+		t.Errorf("CommitCount = %d", s.CommitCount)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := NewSegment(10, 0)
+	if s.PageSize() != DefaultPageSize {
+		t.Errorf("PageSize = %d", s.PageSize())
+	}
+	if s.PageSize() != 4096 {
+		t.Errorf("DefaultPageSize = %d, want 4096", s.PageSize())
+	}
+}
+
+// TestSegmentMatchesModel drives the segment with random writes, commits
+// and rollbacks, comparing against a naive two-copy model.
+func TestSegmentMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const size = 2048
+		s := NewSegment(size, 128)
+		committed := make([]byte, size)
+		working := make([]byte, size)
+		var regsCommitted, regsWorking []byte
+		for i := 0; i < 60; i++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				off := r.Intn(size - 16)
+				n := 1 + r.Intn(16)
+				data := make([]byte, n)
+				r.Read(data)
+				if err := s.Write(off, data); err != nil {
+					t.Fatal(err)
+				}
+				copy(working[off:], data)
+			case 2:
+				regsWorking = []byte{byte(i)}
+				s.Commit(regsWorking)
+				copy(committed, working)
+				regsCommitted = append([]byte(nil), regsWorking...)
+			default:
+				reg := s.Rollback()
+				copy(working, committed)
+				if !bytes.Equal(reg, regsCommitted) {
+					t.Logf("seed %d: registers diverged", seed)
+					return false
+				}
+			}
+			if !bytes.Equal(s.Contents(), working) {
+				t.Logf("seed %d: memory diverged at step %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
