@@ -4,9 +4,16 @@
 // Lose-work invariant), Table 2 (OS faults vs recovery), and the Figure 3
 // protocol space.
 //
+// It also carries the repository's performance regression harness: with
+// -bench it runs the commit-path microbenchmarks (Vista page-diff commit,
+// full Discount Checking commit, rollback) plus the Figure 8 drivers, and
+// with -json it writes the machine-readable BENCH.json checked in at the
+// repository root.
+//
 // Usage:
 //
 //	ftbench -experiment all|fig8|table1|table2|space [-app nvi] [-scale 1] [-crashes 50]
+//	ftbench -bench [-json BENCH.json] [-scale 1]
 package main
 
 import (
@@ -23,7 +30,36 @@ func main() {
 	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks)")
 	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
+	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
+	jsonPath := flag.String("json", "", "with -bench: also write the report as JSON to this path")
 	flag.Parse()
+
+	if *doBench {
+		rep, err := bench.RunBench(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Print(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\n(wrote %s)\n", *jsonPath)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		start := time.Now()

@@ -98,6 +98,9 @@ type Editor struct {
 
 	faultSalt uint64
 	skipClamp bool
+	// encBuf is the reusable MarshalState buffer (not part of the
+	// state; rebuilt lazily after a restore).
+	encBuf []byte
 	// pendingFlip defers a heap bit flip to after the checksum
 	// maintenance in the same apply step, so the corruption is latent
 	// (set and consumed within one step; no checkpoint can interleave).
@@ -667,9 +670,13 @@ func (e *Editor) Contents() []string {
 	return out
 }
 
-// MarshalState implements sim.Program.
+// MarshalState implements sim.Program. The returned slice reuses one
+// buffer across calls (the runtime copies it into the checkpoint image
+// before the next marshal), so a steady-state commit allocates nothing
+// here.
 func (e *Editor) MarshalState() ([]byte, error) {
-	var enc apputil.Enc
+	enc := apputil.Enc{B: e.encBuf[:0]}
+	defer func() { e.encBuf = enc.B }()
 	enc.Int(len(e.Lines))
 	for _, l := range e.Lines {
 		enc.Bytes(l)

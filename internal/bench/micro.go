@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"failtrans/internal/apps/nvi"
+	"failtrans/internal/dc"
+	"failtrans/internal/faults"
+	"failtrans/internal/protocol"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+	"failtrans/internal/vista"
+)
+
+// MicroResult is one commit-path microbenchmark measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// SeedReference is the same microbenchmark suite measured at the growth
+// seed (commit bf636d4), before the incremental commit engine: the
+// baseline the ≥50% allocs/op and ≥25% ns/op acceptance deltas are
+// computed against.
+var SeedReference = []MicroResult{
+	{Name: "VistaCommit", NsPerOp: 42093, BytesPerOp: 4288, AllocsPerOp: 3},
+	{Name: "DCCommit", NsPerOp: 6903, BytesPerOp: 12737, AllocsPerOp: 16},
+	{Name: "DCRollback", NsPerOp: 2744, BytesPerOp: 6992, AllocsPerOp: 48},
+}
+
+// MediumInfo records a stable-storage cost model alongside the numbers
+// that were measured under it.
+type MediumInfo struct {
+	Name        string `json:"name"`
+	PerCommitNs int64  `json:"per_commit_ns"`
+	PerByteNs   int64  `json:"per_byte_ns"`
+	PerLogNs    int64  `json:"per_log_ns"`
+}
+
+func mediumInfo(m stablestore.Medium) MediumInfo {
+	return MediumInfo{
+		Name:        m.Name,
+		PerCommitNs: m.PerCommit.Nanoseconds(),
+		PerByteNs:   m.PerByte.Nanoseconds(),
+		PerLogNs:    m.PerLog.Nanoseconds(),
+	}
+}
+
+// Fig8BenchRow is one protocol's Figure 8 cell in the bench report:
+// checkpoint count and virtual-time overhead on both media.
+type Fig8BenchRow struct {
+	Protocol        string  `json:"protocol"`
+	Coordinated     bool    `json:"coordinated"`
+	Checkpoints     int     `json:"checkpoints"`
+	LogRecords      int64   `json:"log_records"`
+	OverheadRioPct  float64 `json:"overhead_rio_pct"`
+	OverheadDiskPct float64 `json:"overhead_disk_pct"`
+}
+
+// Fig8Summary is one application's protocol sweep in the bench report.
+type Fig8Summary struct {
+	App                string         `json:"app"`
+	BaselineVirtualSec float64        `json:"baseline_virtual_sec"`
+	Rows               []Fig8BenchRow `json:"rows"`
+}
+
+// BenchReport is the machine-readable output of `ftbench -bench`: the
+// commit-path microbenchmarks plus the Figure 8 drivers, with the seed
+// baseline and the media cost models they were measured under.
+type BenchReport struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	Scale  int    `json:"scale"`
+
+	Media []MediumInfo `json:"media"`
+	// Seed holds the microbenchmark baseline measured at the growth seed.
+	Seed []MicroResult `json:"seed_reference"`
+	// Micro holds the same suite measured by this run.
+	Micro []MicroResult `json:"micro"`
+	Fig8  []Fig8Summary `json:"fig8"`
+}
+
+// runMicro executes one benchmark body under the testing harness.
+func runMicro(name string, body func(b *testing.B)) MicroResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		body(b)
+	})
+	ns := 0.0
+	if r.N > 0 {
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return MicroResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchVistaCommit measures a Vista page-diff commit of a 64 KB image with
+// one dirty page per iteration (steady state: zero allocations).
+func benchVistaCommit(b *testing.B) {
+	seg := vista.NewSegment(0, 4096)
+	img := make([]byte, 64*1024)
+	seg.SetContents(img)
+	seg.Commit(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img[(i*4096+17)%len(img)] ^= 1
+		seg.SetContents(img)
+		seg.Commit(nil)
+	}
+}
+
+func benchNviDC(b *testing.B) (*dc.DC, *sim.Proc) {
+	e := nvi.New("doc.txt", faults.NviInitial())
+	w := sim.NewWorld(1, e)
+	d := dc.New(w, protocol.CPVS, stablestore.Rio)
+	if err := d.Attach(); err != nil {
+		b.Fatal(err)
+	}
+	return d, w.Procs[0]
+}
+
+// benchDCCommit measures one full Discount Checking commit of the nvi
+// editor state: marshal + page diff + commit bookkeeping.
+func benchDCCommit(b *testing.B) {
+	d, p := benchNviDC(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Checkpoint(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDCRollback measures a rollback + state reload.
+func benchDCRollback(b *testing.B) {
+	d, p := benchNviDC(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Rollback(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunBench runs the commit microbenchmarks and the Figure 8 drivers and
+// assembles the combined report.
+func RunBench(scale int) (*BenchReport, error) {
+	rep := &BenchReport{
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Scale:  scale,
+		Media:  []MediumInfo{mediumInfo(stablestore.Rio), mediumInfo(stablestore.Disk)},
+		Seed:   SeedReference,
+	}
+	rep.Micro = []MicroResult{
+		runMicro("VistaCommit", benchVistaCommit),
+		runMicro("DCCommit", benchDCCommit),
+		runMicro("DCRollback", benchDCRollback),
+	}
+	for _, app := range Fig8Apps {
+		res, err := Fig8(app, scale)
+		if err != nil {
+			return nil, err
+		}
+		sum := Fig8Summary{App: app, BaselineVirtualSec: res.Baseline.Seconds()}
+		for _, row := range res.Rows {
+			pol, err := protocol.ByName(row.Protocol)
+			if err != nil {
+				return nil, err
+			}
+			sum.Rows = append(sum.Rows, Fig8BenchRow{
+				Protocol:        row.Protocol,
+				Coordinated:     pol.Coordinated(),
+				Checkpoints:     row.Checkpoints,
+				LogRecords:      row.LogRecords,
+				OverheadRioPct:  row.OverheadRioPct,
+				OverheadDiskPct: row.OverheadDiskPct,
+			})
+		}
+		rep.Fig8 = append(rep.Fig8, sum)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print renders the report for a terminal, with deltas vs the seed.
+func (r *BenchReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "Commit-path microbenchmarks (%s/%s):\n", r.GOOS, r.GOARCH)
+	fmt.Fprintf(w, "%-12s %12s %10s %10s %18s\n", "benchmark", "ns/op", "B/op", "allocs/op", "vs seed")
+	seed := make(map[string]MicroResult, len(r.Seed))
+	for _, s := range r.Seed {
+		seed[s.Name] = s
+	}
+	for _, m := range r.Micro {
+		delta := ""
+		if s, ok := seed[m.Name]; ok && s.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.0f%% ns, %d→%d allocs",
+				100*(m.NsPerOp-s.NsPerOp)/s.NsPerOp, s.AllocsPerOp, m.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-12s %12.0f %10d %10d %18s\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, delta)
+	}
+	for _, f := range r.Fig8 {
+		fmt.Fprintf(w, "\nFigure 8 (%s): baseline %.2fs virtual\n", f.App, f.BaselineVirtualSec)
+		fmt.Fprintf(w, "%-12s %8s %8s %10s %10s\n", "protocol", "ckpts", "logrecs", "DC ovhd", "disk ovhd")
+		for _, row := range f.Rows {
+			fmt.Fprintf(w, "%-12s %8d %8d %9.1f%% %9.1f%%\n",
+				row.Protocol, row.Checkpoints, row.LogRecords, row.OverheadRioPct, row.OverheadDiskPct)
+		}
+	}
+}

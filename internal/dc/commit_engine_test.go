@@ -1,0 +1,106 @@
+package dc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"failtrans/internal/protocol"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+)
+
+// idleProg is a program whose state never changes and whose MarshalState
+// reuses one buffer, so a commit of it measures pure commit-engine cost.
+type idleProg struct {
+	buf   []byte
+	state [64]byte
+}
+
+func (p *idleProg) Name() string            { return "idle" }
+func (p *idleProg) Init(ctx *sim.Ctx) error { p.buf = make([]byte, 0, 256); return nil }
+func (p *idleProg) Step(ctx *sim.Ctx) sim.Status {
+	return sim.Done
+}
+func (p *idleProg) MarshalState() ([]byte, error) {
+	return append(p.buf[:0], p.state[:]...), nil
+}
+func (p *idleProg) UnmarshalState(d []byte) error { copy(p.state[:], d); return nil }
+
+// TestCommitSteadyStateZeroAllocs pins the tentpole acceptance property at
+// the Discount Checking layer: a steady-state commit of an idle process —
+// marshal, page diff, bookkeeping — performs zero heap allocations.
+func TestCommitSteadyStateZeroAllocs(t *testing.T) {
+	w := sim.NewWorld(1, &idleProg{})
+	w.RecordTrace = false
+	d := New(w, protocol.CPVS, stablestore.Rio)
+	if err := d.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Procs[0]
+	for k := 0; k < 3; k++ { // warm the image buffer and undo pool
+		if err := d.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := d.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("steady-state commit allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestParallelCoordinatedCommitDeterministic runs the requester/responder
+// pair under CPV-2PC twice — once on the serial coordinated-commit path,
+// once with the member page diffs fanned out to goroutines — and demands
+// byte-identical traces, outputs, virtual clocks and stats. The parallel
+// diff phase must not reorder or perturb any globally visible bookkeeping.
+func TestParallelCoordinatedCommitDeterministic(t *testing.T) {
+	type outcome struct {
+		events  interface{}
+		outputs []string
+		clock   time.Duration
+		ckpts   int
+		bytes   int64
+		rounds  int
+	}
+	run := func(serial bool) outcome {
+		w := sim.NewWorld(13, &requester{Rounds: 5}, &responder{Max: 5})
+		d := New(w, protocol.CPV2PC, stablestore.Rio)
+		d.SerialCommit = serial
+		if err := d.Attach(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			events:  w.Trace.Events,
+			outputs: w.GlobalOutputs,
+			clock:   w.Clock,
+			ckpts:   d.Stats.TotalCheckpoints(),
+			bytes:   d.Stats.CommitBytes,
+			rounds:  d.Stats.TwoPhaseRounds,
+		}
+	}
+	serial := run(true)
+	parallel := run(false)
+	if serial.rounds == 0 {
+		t.Fatal("workload triggered no coordinated commits; test is vacuous")
+	}
+	if serial.clock != parallel.clock || serial.ckpts != parallel.ckpts ||
+		serial.bytes != parallel.bytes || serial.rounds != parallel.rounds {
+		t.Fatalf("serial/parallel stats diverge: clock %v/%v ckpts %d/%d bytes %d/%d rounds %d/%d",
+			serial.clock, parallel.clock, serial.ckpts, parallel.ckpts,
+			serial.bytes, parallel.bytes, serial.rounds, parallel.rounds)
+	}
+	if !reflect.DeepEqual(serial.outputs, parallel.outputs) {
+		t.Fatalf("outputs diverge:\nserial:   %q\nparallel: %q", serial.outputs, parallel.outputs)
+	}
+	if !reflect.DeepEqual(serial.events, parallel.events) {
+		t.Fatal("event traces diverge between serial and parallel coordinated commits")
+	}
+}

@@ -19,6 +19,7 @@ package dc
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"failtrans/internal/event"
@@ -103,6 +104,14 @@ type DC struct {
 
 	registers []byte
 
+	// imgBuf holds one reusable checkpoint-image buffer per process, so
+	// a steady-state commit serializes into preallocated memory.
+	imgBuf [][]byte
+	// coStats/coErrs are reusable scratch for the parallel coordinated-
+	// commit diff phase.
+	coStats []vista.Stats
+	coErrs  []error
+
 	// CommitHook, if set, is called after every commit (fault studies
 	// record commit positions through it).
 	CommitHook func(p *sim.Proc, label string)
@@ -121,6 +130,11 @@ type DC struct {
 	// recomputed during recovery — the paper's §2.6 "reduce the
 	// comprehensiveness of the state saved" mitigation.
 	EssentialOnly bool
+	// SerialCommit forces coordinated (2PC) commits to diff and log
+	// members one at a time instead of in parallel goroutines. The two
+	// paths produce byte-identical traces (asserted in tests); the knob
+	// exists for that assertion and for debugging.
+	SerialCommit bool
 	// ExpandResourcesOnCrash calls the hook after each rollback — the
 	// paper's §2.6 "make some fixed non-deterministic events into
 	// transient ones by increasing disk space or other application
@@ -156,6 +170,9 @@ func New(w *sim.World, pol protocol.Policy, medium stablestore.Medium) *DC {
 		flushed:       make([]int, n),
 		pendingCommit: make([]string, n),
 		registers:     make([]byte, registerFileSize),
+		imgBuf:        make([][]byte, n),
+		coStats:       make([]vista.Stats, n),
+		coErrs:        make([]error, n),
 	}
 	d.Stats.Checkpoints = make([]int, n)
 	for i := range d.deps {
@@ -193,7 +210,8 @@ func (d *DC) seg(i int) *vista.Segment {
 // the process crashes instead of committing corrupt state.
 var errCheckFailed = errors.New("dc: pre-commit consistency check failed")
 
-// commitOne checkpoints a single process.
+// commitOne checkpoints a single process: the consistency/log preamble,
+// the page diff+log, and the bookkeeping, in order.
 func (d *DC) commitOne(p *sim.Proc, label string) error {
 	if d.CheckBeforeCommit {
 		if c, ok := p.Prog.(sim.Checker); ok {
@@ -208,13 +226,35 @@ func (d *DC) commitOne(p *sim.Proc, label string) error {
 	if d.Policy.LogAsync {
 		d.flushLog(p)
 	}
-	img, err := p.CheckpointImage(d.EssentialOnly)
+	st, err := d.diffOne(p)
 	if err != nil {
-		return fmt.Errorf("dc: commit %s: %w", p.Prog.Name(), err)
+		return err
 	}
+	d.finishCommit(p, st, label)
+	return nil
+}
+
+// diffOne serializes p's checkpoint image into its reusable per-process
+// buffer and lays it into the Vista segment with page-granularity diffing.
+// It touches only p's own state (program, session counters, segment,
+// buffer), so coordinated commits run it for different processes
+// concurrently. All global bookkeeping lives in finishCommit.
+func (d *DC) diffOne(p *sim.Proc) (vista.Stats, error) {
+	buf, err := p.AppendCheckpointImage(d.imgBuf[p.Index][:0], d.EssentialOnly)
+	if err != nil {
+		return vista.Stats{}, fmt.Errorf("dc: commit %s: %w", p.Prog.Name(), err)
+	}
+	d.imgBuf[p.Index] = buf
 	seg := d.seg(p.Index)
-	seg.SetContents(img)
-	st := seg.Commit(d.registers)
+	seg.SetContents(buf)
+	return seg.Commit(d.registers), nil
+}
+
+// finishCommit applies a commit's bookkeeping: virtual-time charge, stats,
+// trace, retention release and replay anchors. Coordinated commits call it
+// in fixed member order so seeded runs stay byte-identical regardless of
+// how the diff phase was scheduled.
+func (d *DC) finishCommit(p *sim.Proc, st vista.Stats, label string) {
 	cost := d.Medium.CommitCost(st.Bytes)
 	d.World.AddTime(p, cost)
 	d.Stats.Checkpoints[p.Index]++
@@ -233,22 +273,51 @@ func (d *DC) commitOne(p *sim.Proc, label string) error {
 	if d.CommitHook != nil {
 		d.CommitHook(p, label)
 	}
-	return nil
 }
 
 // commitCoordinated runs a two-phase commit over the given set. The
 // triggering process pays the coordination round trips; every member pays
 // its own commit.
+//
+// The members' page diffs are independent (each reads only its own
+// process's state and writes only its own segment), so they run in
+// parallel goroutines, joined before any bookkeeping; the bookkeeping then
+// runs serially in member order, charging stats/trace/virtual time exactly
+// as the serial path would — seeded traces are byte-identical either way.
+// Policies that interleave per-member side effects with the diff
+// (pre-commit consistency checks, asynchronous log flushes) take the
+// serial path.
 func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label string) {
 	d.Stats.TwoPhaseRounds++
 	d.World.AddTime(trigger, 2*d.World.Latency) // prepare + commit rounds
-	for _, q := range members {
-		err := d.commitOne(q, label)
-		if err != nil && !errors.Is(err, errCheckFailed) {
-			// A process whose state cannot be serialized cannot be
-			// made recoverable; surface loudly.
+	if d.SerialCommit || d.CheckBeforeCommit || d.Policy.LogAsync || len(members) < 2 {
+		for _, q := range members {
+			err := d.commitOne(q, label)
+			if err != nil && !errors.Is(err, errCheckFailed) {
+				// A process whose state cannot be serialized cannot
+				// be made recoverable; surface loudly.
+				panic(err)
+			}
+			if q != trigger {
+				d.World.Delay(q, d.Medium.CommitCost(0))
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, q := range members {
+		wg.Add(1)
+		go func(i int, q *sim.Proc) {
+			defer wg.Done()
+			d.coStats[i], d.coErrs[i] = d.diffOne(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for i, q := range members {
+		if err := d.coErrs[i]; err != nil {
 			panic(err)
 		}
+		d.finishCommit(q, d.coStats[i], label)
 		if q != trigger {
 			d.World.Delay(q, d.Medium.CommitCost(0))
 		}
@@ -326,7 +395,7 @@ func (d *DC) BeforeEvent(p *sim.Proc, kind event.Kind, nd event.NDClass, label s
 			}
 		}
 	case event.Send:
-		if pol.TwoPhase == protocol.NoTwoPhase && pol.CommitBeforeSend &&
+		if !pol.Coordinated() && pol.CommitBeforeSend &&
 			(!pol.OnlyIfNDSinceCommit || d.ndSince[p.Index]) {
 			d.mustCommit(p, "before-send")
 		}
@@ -530,7 +599,8 @@ func (d *DC) Rollback(p *sim.Proc) error {
 	i := p.Index
 	seg := d.seg(i)
 	seg.Rollback()
-	img := seg.Contents()
+	img := seg.AppendContents(d.imgBuf[i][:0])
+	d.imgBuf[i] = img
 	if err := p.RestoreCheckpointImage(img); err != nil {
 		return fmt.Errorf("dc: rollback %s: %w", p.Prog.Name(), err)
 	}

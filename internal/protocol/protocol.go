@@ -83,6 +83,10 @@ type Policy struct {
 // String returns the policy name.
 func (p Policy) String() string { return p.Name }
 
+// Coordinated reports whether visible events trigger a two-phase
+// coordinated commit (of any scope) instead of per-process commits.
+func (p Policy) Coordinated() bool { return p.TwoPhase != NoTwoPhase }
+
 // LogsLabel reports whether the policy logs ND events with the given
 // runtime label ("input", "recv", "gettimeofday", "rand", "sys.*").
 func (p Policy) LogsLabel(label string) bool {

@@ -291,6 +291,7 @@ func (c *Ctx) Recv() (Msg, bool) {
 	now := c.NowVirtual()
 	// Drop duplicates produced by re-executed sends: anything at or
 	// below the consumed high-water mark for its sender.
+	before := len(c.p.inbox)
 	kept := c.p.inbox[:0]
 	for _, m := range c.p.inbox {
 		if m.DeliverAt <= now && m.SendIdx <= c.p.RecvHW[m.From] {
@@ -299,6 +300,9 @@ func (c *Ctx) Recv() (Msg, bool) {
 		kept = append(kept, m)
 	}
 	c.p.inbox = kept
+	if len(kept) != before {
+		c.p.inboxChanged()
+	}
 	idx := -1
 	for i, m := range c.p.inbox {
 		if m.DeliverAt <= now && (idx < 0 || m.DeliverAt < c.p.inbox[idx].DeliverAt) {
@@ -312,6 +316,7 @@ func (c *Ctx) Recv() (Msg, bool) {
 	rel := c.p.Steps - c.p.retainBase
 	c.before(event.Receive, event.TransientND, "recv")
 	c.p.inbox = append(c.p.inbox[:idx], c.p.inbox[idx+1:]...)
+	c.p.inboxChanged()
 	c.p.retained = append(c.p.retained, retainedMsg{m: m, pos: rel})
 	if m.SendIdx > c.p.RecvHW[m.From] {
 		c.p.RecvHW[m.From] = m.SendIdx

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInboxMinCacheMatchesScan cross-checks the cached inbox delivery
+// minimum (the O(1) readyAt fast path) against a naive scan through a mix
+// of appends and removals.
+func TestInboxMinCacheMatchesScan(t *testing.T) {
+	w := NewWorld(1, &counter{N: 1}, &counter{N: 1})
+	p := w.Procs[1]
+	naive := func() (time.Duration, bool) {
+		var best time.Duration
+		ok := false
+		for _, m := range p.inbox {
+			if !ok || m.DeliverAt < best {
+				best, ok = m.DeliverAt, true
+			}
+		}
+		return best, ok
+	}
+	check := func(when string) {
+		t.Helper()
+		got, gok := p.earliestInbox()
+		want, wok := naive()
+		if gok != wok || (gok && got != want) {
+			t.Fatalf("%s: earliestInbox = (%v,%v), naive scan = (%v,%v)", when, got, gok, want, wok)
+		}
+	}
+
+	check("empty")
+	for i, at := range []time.Duration{5, 3, 9, 3, 1, 7} {
+		p.inboxAdd(&Msg{ID: int64(i), DeliverAt: at * time.Millisecond})
+		check("after add")
+	}
+	// Remove from the front, the middle and the back, as Recv's splice does.
+	for _, pick := range []func() int{
+		func() int { return 0 },
+		func() int { return len(p.inbox) / 2 },
+		func() int { return len(p.inbox) - 1 },
+	} {
+		idx := pick()
+		p.inbox = append(p.inbox[:idx], p.inbox[idx+1:]...)
+		p.inboxChanged()
+		check("after removal")
+	}
+	for len(p.inbox) > 0 {
+		p.inbox = p.inbox[:len(p.inbox)-1]
+		p.inboxChanged()
+		check("after drain")
+	}
+
+	// readyAt must see the cached minimum for a blocked process.
+	p.status = WaitMsg
+	p.inboxAdd(&Msg{ID: 99, DeliverAt: 42 * time.Millisecond})
+	at, ok := w.readyAt(p)
+	want := 42 * time.Millisecond
+	if want < p.wake {
+		want = p.wake
+	}
+	if !ok || at != want {
+		t.Fatalf("readyAt = (%v,%v), want (%v,true)", at, ok, want)
+	}
+}
+
+// TestFlushReplayQueueEmpty: flushing an empty replay queue must be a
+// no-op — in particular the debug diagnostic must not index the queue head.
+func TestFlushReplayQueueEmpty(t *testing.T) {
+	w := NewWorld(1, &counter{N: 1})
+	w.Debug = true
+	p := w.Procs[0]
+	w.flushReplayQueue(p) // must not panic
+	if len(p.inbox) != 0 || len(p.replayQueue) != 0 {
+		t.Fatalf("flush of empty queue mutated state: inbox=%d replay=%d", len(p.inbox), len(p.replayQueue))
+	}
+}
+
+// TestFlushReplayQueueRequeues: a non-empty flush moves replayed messages
+// ahead of the live inbox, re-timed to now, and refreshes the cached
+// delivery minimum.
+func TestFlushReplayQueueRequeues(t *testing.T) {
+	w := NewWorld(1, &counter{N: 1})
+	p := w.Procs[0]
+	p.inboxAdd(&Msg{ID: 1, DeliverAt: time.Second})
+	p.replayQueue = append(p.replayQueue, retainedMsg{m: &Msg{ID: 2, DeliverAt: time.Hour}, pos: 1})
+	w.Clock = 5 * time.Millisecond
+	w.flushReplayQueue(p)
+	if len(p.inbox) != 2 || p.inbox[0].ID != 2 || p.inbox[0].DeliverAt != w.Clock {
+		t.Fatalf("flush did not requeue ahead of live inbox: %+v", p.inbox)
+	}
+	if at, ok := p.earliestInbox(); !ok || at != w.Clock {
+		t.Fatalf("cached minimum stale after flush: (%v,%v), want (%v,true)", at, ok, w.Clock)
+	}
+}

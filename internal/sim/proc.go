@@ -33,6 +33,21 @@ func (p *Proc) safeStep() (st Status) {
 // application's essential state is captured (the §2.6 mitigation); the
 // image records which form it holds so RestoreCheckpointImage can dispatch.
 func (p *Proc) CheckpointImage(essential bool) ([]byte, error) {
+	return p.AppendCheckpointImage(nil, essential)
+}
+
+// appendI64 appends v to buf in the image's little-endian wire format.
+func appendI64(buf []byte, v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return append(buf, b[:]...)
+}
+
+// AppendCheckpointImage appends the checkpoint image to buf and returns the
+// extended slice — the zero-allocation form of CheckpointImage for callers
+// (Discount Checking's commit path) that reuse one buffer per process
+// across commit cycles.
+func (p *Proc) AppendCheckpointImage(buf []byte, essential bool) ([]byte, error) {
 	var app []byte
 	var err error
 	mode := byte(0)
@@ -49,29 +64,25 @@ func (p *Proc) CheckpointImage(essential bool) ([]byte, error) {
 	if p.World.OS != nil {
 		kern = p.World.OS.SaveProcState(p.Index)
 	}
-	img := []byte{mode}
-	putI64 := func(v int64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], uint64(v))
-		img = append(img, b[:]...)
-	}
-	putI64(int64(p.InputCursor))
-	putI64(p.SendSeq)
-	senders := make([]int, 0, len(p.RecvHW))
+	buf = append(buf, mode)
+	buf = appendI64(buf, int64(p.InputCursor))
+	buf = appendI64(buf, p.SendSeq)
+	senders := p.ckptSenders[:0]
 	for s := range p.RecvHW {
 		senders = append(senders, s)
 	}
 	sort.Ints(senders)
-	putI64(int64(len(senders)))
+	p.ckptSenders = senders
+	buf = appendI64(buf, int64(len(senders)))
 	for _, s := range senders {
-		putI64(int64(s))
-		putI64(p.RecvHW[s])
+		buf = appendI64(buf, int64(s))
+		buf = appendI64(buf, p.RecvHW[s])
 	}
-	putI64(int64(len(app)))
-	img = append(img, app...)
-	putI64(int64(len(kern)))
-	img = append(img, kern...)
-	return img, nil
+	buf = appendI64(buf, int64(len(app)))
+	buf = append(buf, app...)
+	buf = appendI64(buf, int64(len(kern)))
+	buf = append(buf, kern...)
+	return buf, nil
 }
 
 // RestoreCheckpointImage is the inverse of CheckpointImage: it reloads

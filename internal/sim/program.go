@@ -80,7 +80,10 @@ type Program interface {
 	// Step executes one unit of work and reports how to schedule the
 	// process next.
 	Step(ctx *Ctx) Status
-	// MarshalState serializes the complete mutable state.
+	// MarshalState serializes the complete mutable state. The runtime
+	// copies the result into the checkpoint image before the next call,
+	// so implementations may reuse one buffer across calls to keep the
+	// commit hot path allocation-free.
 	MarshalState() ([]byte, error)
 	// UnmarshalState replaces the state with a previously marshaled one.
 	UnmarshalState(data []byte) error

@@ -67,6 +67,51 @@ type Proc struct {
 	// signals is the pending signal queue (delivered by virtual time).
 	signals []pendingSignal
 	dead    bool
+
+	// inboxMin caches the minimum DeliverAt over the inbox so the
+	// scheduler's WaitMsg wake-up lookup is O(1) instead of rescanning
+	// the inbox at every scheduling decision. inboxMinOK marks the cache
+	// valid; any inbox mutation either maintains the minimum (appends)
+	// or invalidates it (removals), and the next lookup recomputes.
+	inboxMin   time.Duration
+	inboxMinOK bool
+
+	// ckptSenders is reusable scratch for AppendCheckpointImage.
+	ckptSenders []int
+}
+
+// inboxAdd appends a message, maintaining the cached delivery minimum.
+func (p *Proc) inboxAdd(m *Msg) {
+	p.inbox = append(p.inbox, m)
+	if len(p.inbox) == 1 {
+		p.inboxMin = m.DeliverAt
+		p.inboxMinOK = true
+	} else if p.inboxMinOK && m.DeliverAt < p.inboxMin {
+		p.inboxMin = m.DeliverAt
+	}
+}
+
+// inboxChanged invalidates the cached delivery minimum after a removal or
+// wholesale rebuild of the inbox.
+func (p *Proc) inboxChanged() { p.inboxMinOK = false }
+
+// earliestInbox returns the minimum DeliverAt over the inbox, recomputing
+// the cache only when an earlier mutation invalidated it.
+func (p *Proc) earliestInbox() (time.Duration, bool) {
+	if len(p.inbox) == 0 {
+		return 0, false
+	}
+	if !p.inboxMinOK {
+		best := p.inbox[0].DeliverAt
+		for _, m := range p.inbox[1:] {
+			if m.DeliverAt < best {
+				best = m.DeliverAt
+			}
+		}
+		p.inboxMin = best
+		p.inboxMinOK = true
+	}
+	return p.inboxMin, true
 }
 
 // pendingSignal is one scheduled asynchronous signal.
@@ -211,8 +256,7 @@ func (w *World) send(from, to int, payload []byte) (int64, error) {
 		Payload:   append([]byte(nil), payload...),
 		DeliverAt: w.Clock + src.ctx.elapsed + w.Latency,
 	}
-	dst := w.Procs[to]
-	dst.inbox = append(dst.inbox, m)
+	w.Procs[to].inboxAdd(m)
 	return m.ID, nil
 }
 
@@ -252,6 +296,9 @@ func (w *World) RequeueRetained(p *Proc) {
 // diverged) and moves the remaining messages to the inbox for live
 // consumption.
 func (w *World) flushReplayQueue(p *Proc) {
+	if len(p.replayQueue) == 0 {
+		return
+	}
 	if w.Debug {
 		fmt.Printf("DEBUG flush p%d steps=%d base=%d queue=%d headpos=%d\n", p.Index, p.Steps, p.retainBase, len(p.replayQueue), p.replayQueue[0].pos)
 	}
@@ -263,6 +310,7 @@ func (w *World) flushReplayQueue(p *Proc) {
 	}
 	p.inbox = append(pre, p.inbox...)
 	p.replayQueue = p.replayQueue[:0]
+	p.inboxChanged()
 }
 
 // DeliverSignal schedules an asynchronous signal for pid at virtual time
@@ -281,7 +329,7 @@ func (w *World) RequeueLogged(p *Proc, record []byte) {
 	m := DecodeMsgRecord(record)
 	m.To = p.Index
 	m.DeliverAt = w.Clock
-	p.inbox = append(p.inbox, &m)
+	p.inboxAdd(&m)
 }
 
 // readyAt returns the earliest time p can run, or ok=false if it never can.
@@ -300,13 +348,8 @@ func (w *World) readyAt(p *Proc) (time.Duration, bool) {
 		if len(p.replayQueue) > 0 {
 			return p.wake, true
 		}
-		best := time.Duration(-1)
-		for _, m := range p.inbox {
-			if best < 0 || m.DeliverAt < best {
-				best = m.DeliverAt
-			}
-		}
-		if best < 0 {
+		best, ok := p.earliestInbox()
+		if !ok {
 			return 0, false
 		}
 		if best < p.wake {

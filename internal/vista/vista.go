@@ -9,9 +9,20 @@
 // Rolling back a process is applying the undo log in reverse; recovering
 // after a crash is the same operation, because the undo log itself lives in
 // reliable memory.
+//
+// The commit path is engineered to do work proportional to the *dirty*
+// bytes with zero steady-state heap allocations: the dirty set is a
+// reusable bitset cleared in place, undo-record page buffers are pooled
+// across commit cycles, page comparison is word-wise, and a per-page hash
+// cache (maintained across commits) lets SetContents reject changed pages
+// after a single pass over the incoming image.
 package vista
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 // DefaultPageSize matches the i386 page size the original used.
 const DefaultPageSize = 4096
@@ -31,14 +42,35 @@ type undoRec struct {
 	data []byte
 }
 
+// pageBitset tracks dirty pages as one bit per page. Bits are cleared in
+// place at commit/rollback (walking the undo log, which names exactly the
+// set bits) so the steady state allocates nothing.
+type pageBitset []uint64
+
+func (b pageBitset) has(p int) bool { return b[p>>6]&(1<<(uint(p)&63)) != 0 }
+func (b pageBitset) set(p int)      { b[p>>6] |= 1 << (uint(p) & 63) }
+func (b pageBitset) clear(p int)    { b[p>>6] &^= 1 << (uint(p) & 63) }
+
 // Segment is one process's persistent address space plus its undo log.
 // The zero value is not usable; call NewSegment.
 type Segment struct {
 	pageSize int
 	mem      []byte
 	undo     []undoRec
-	dirty    map[int]bool
+	dirty    pageBitset
+	nDirty   int
 	savedReg []byte
+
+	// pageHash caches, per page, the hash of the page's current contents
+	// whenever the matching hashValid bit is set. SetContents maintains
+	// it so a changed incoming page is detected from the hash alone —
+	// without re-reading the segment's committed bytes. Write-path
+	// updates (whose contents SetContents never sees) just invalidate.
+	pageHash  []uint64
+	hashValid pageBitset
+
+	// bufPool recycles undo-record page buffers across commit cycles.
+	bufPool [][]byte
 
 	// CommitCount and LoggedBytes accumulate usage statistics.
 	CommitCount int
@@ -51,11 +83,12 @@ func NewSegment(size, pageSize int) *Segment {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Segment{
+	s := &Segment{
 		pageSize: pageSize,
 		mem:      make([]byte, size),
-		dirty:    make(map[int]bool),
 	}
+	s.sizeTracking()
+	return s
 }
 
 // PageSize returns the trap granularity.
@@ -64,37 +97,92 @@ func (s *Segment) PageSize() int { return s.pageSize }
 // Size returns the current segment size in bytes.
 func (s *Segment) Size() int { return len(s.mem) }
 
+// pages returns the current page count.
+func (s *Segment) pages() int { return (len(s.mem) + s.pageSize - 1) / s.pageSize }
+
+// sizeTracking (re)sizes the dirty/hash structures to the segment size,
+// preserving existing entries.
+func (s *Segment) sizeTracking() {
+	np := s.pages()
+	words := (np + 63) / 64
+	for len(s.dirty) < words {
+		s.dirty = append(s.dirty, 0)
+	}
+	for len(s.hashValid) < words {
+		s.hashValid = append(s.hashValid, 0)
+	}
+	for len(s.pageHash) < np {
+		s.pageHash = append(s.pageHash, 0)
+	}
+}
+
 // grow extends the segment to at least n bytes. New memory is zeroed and
 // considered committed (like fresh pages from the OS).
 func (s *Segment) grow(n int) {
 	if n <= len(s.mem) {
 		return
 	}
-	bigger := make([]byte, n)
-	copy(bigger, s.mem)
-	s.mem = bigger
+	if n <= cap(s.mem) {
+		// The previous extent beyond len is kept zeroed (shrinking
+		// SetContents zeroes tails; fresh capacity is zero already), so
+		// re-extending within capacity needs no clearing or copying.
+		s.mem = s.mem[:n]
+	} else {
+		bigger := make([]byte, n)
+		copy(bigger, s.mem)
+		s.mem = bigger
+	}
+	s.sizeTracking()
+}
+
+// pageBuf returns an n-byte buffer for an undo record, recycling pooled
+// buffers from earlier commit cycles when possible.
+func (s *Segment) pageBuf(n int) []byte {
+	if l := len(s.bufPool); l > 0 {
+		b := s.bufPool[l-1]
+		s.bufPool = s.bufPool[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n, s.pageSize)
+}
+
+// releaseUndo returns every undo record's page buffer to the pool and
+// truncates the log, clearing the records' dirty bits in place.
+func (s *Segment) releaseUndo() {
+	for i := range s.undo {
+		s.dirty.clear(s.undo[i].page)
+		s.bufPool = append(s.bufPool, s.undo[i].data)
+		s.undo[i].data = nil
+	}
+	s.undo = s.undo[:0]
+	s.nDirty = 0
 }
 
 // touchPage logs the before-image of page p on its first write since the
 // last commit.
 func (s *Segment) touchPage(p int) {
-	if s.dirty[p] {
+	if s.dirty.has(p) {
 		return
 	}
-	s.dirty[p] = true
+	s.dirty.set(p)
+	s.nDirty++
 	start := p * s.pageSize
 	end := start + s.pageSize
 	if end > len(s.mem) {
 		end = len(s.mem)
 	}
-	img := make([]byte, end-start)
+	img := s.pageBuf(end - start)
 	copy(img, s.mem[start:end])
 	s.undo = append(s.undo, undoRec{page: p, data: img})
 	s.LoggedBytes += int64(len(img))
 }
 
 // Write copies data into the segment at off, growing it as needed and
-// logging before-images of every touched page.
+// logging before-images of every touched page. The hash cache entries of
+// the touched pages are invalidated (Write does not know the final page
+// contents; SetContents recomputes them on its next pass).
 func (s *Segment) Write(off int, data []byte) error {
 	if off < 0 {
 		return fmt.Errorf("vista: negative offset %d", off)
@@ -105,6 +193,7 @@ func (s *Segment) Write(off int, data []byte) error {
 	s.grow(off + len(data))
 	for p := off / s.pageSize; p <= (off+len(data)-1)/s.pageSize; p++ {
 		s.touchPage(p)
+		s.hashValid.clear(p)
 	}
 	copy(s.mem[off:], data)
 	return nil
@@ -112,18 +201,35 @@ func (s *Segment) Write(off int, data []byte) error {
 
 // Read copies n bytes at off out of the segment.
 func (s *Segment) Read(off, n int) ([]byte, error) {
-	if off < 0 || n < 0 || off+n > len(s.mem) {
-		return nil, fmt.Errorf("vista: read [%d,%d) outside segment of %d bytes", off, off+n, len(s.mem))
+	if n < 0 {
+		return nil, fmt.Errorf("vista: negative read length %d", n)
 	}
 	out := make([]byte, n)
-	copy(out, s.mem[off:])
+	if err := s.ReadInto(off, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// ReadInto fills dst with len(dst) bytes starting at off, without
+// allocating.
+func (s *Segment) ReadInto(off int, dst []byte) error {
+	if off < 0 || off+len(dst) > len(s.mem) {
+		return fmt.Errorf("vista: read [%d,%d) outside segment of %d bytes", off, off+len(dst), len(s.mem))
+	}
+	copy(dst, s.mem[off:])
+	return nil
 }
 
 // SetContents replaces the whole segment with data, but touches only the
 // pages that actually differ — the analogue of copy-on-write, where clean
 // pages never fault. It is the path Discount Checking uses to lay a
 // serialized process image into the segment.
+//
+// Each incoming page is hashed in one pass and compared against the cached
+// hash of the resident page, so clean pages are skipped without reading
+// the resident bytes at all; only pages without a cached hash yet fall
+// back to a word-wise byte comparison.
 func (s *Segment) SetContents(data []byte) {
 	s.grow(len(data))
 	// Pages beyond len(data) that contain old bytes must be cleared.
@@ -142,26 +248,97 @@ func (s *Segment) SetContents(data []byte) {
 		default:
 			src = data[start:end]
 		}
-		if pageEqual(s.mem[start:end], src) {
+		p := start / s.pageSize
+		h := pageHashOf(src, end-start)
+		if s.hashValid.has(p) {
+			if s.pageHash[p] == h {
+				// Clean: the cached hash of the resident page matches
+				// the incoming page's, so the resident bytes are never
+				// read at all. A 64-bit collision (~2^-64 per page)
+				// would wrongly skip the copy; the commit path accepts
+				// that in exchange for halving clean-page work.
+				continue
+			}
+		} else if pageEqual(s.mem[start:end], src) {
+			// First sighting of a clean page: adopt its hash so the
+			// next commit cycle skips the byte comparison path on a
+			// mismatch.
+			s.pageHash[p] = h
+			s.hashValid.set(p)
 			continue
 		}
-		s.touchPage(start / s.pageSize)
+		s.touchPage(p)
 		n := copy(s.mem[start:end], src)
 		for i := start + n; i < end; i++ {
 			s.mem[i] = 0
 		}
+		s.pageHash[p] = h
+		s.hashValid.set(p)
 	}
 }
 
-// pageEqual compares a memory page against src, treating bytes beyond
-// len(src) as zero.
-func pageEqual(page, src []byte) bool {
-	for i := range page {
-		var b byte
-		if i < len(src) {
-			b = src[i]
+// pageHashOf hashes the logical contents of one page extent: the bytes of
+// src followed by implicit zeros out to extent bytes. Logical word j
+// always lands in lane j%4 with its logical (zero-padded) value, so the
+// result is a pure function of the extent's contents regardless of where
+// len(src) falls. Four independent multiply lanes break the serial
+// xor-multiply dependency chain and keep the common clean-page scan
+// memory-bound rather than latency-bound.
+func pageHashOf(src []byte, extent int) uint64 {
+	const mul = 0x9E3779B97F4A7C15
+	h0 := uint64(0x243F6A8885A308D3)
+	h1 := uint64(0x13198A2E03707344)
+	h2 := uint64(0xA4093822299F31D0)
+	h3 := uint64(0x082EFA98EC4E6C89)
+	n := len(src)
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		h0 = (h0 ^ binary.LittleEndian.Uint64(src[i:])) * mul
+		h1 = (h1 ^ binary.LittleEndian.Uint64(src[i+8:])) * mul
+		h2 = (h2 ^ binary.LittleEndian.Uint64(src[i+16:])) * mul
+		h3 = (h3 ^ binary.LittleEndian.Uint64(src[i+24:])) * mul
+	}
+	// Tail: the remaining real words (zero-padded) and the implicit zero
+	// words out to extent, one word at a time, continuing the round-robin
+	// lane assignment the block loop established.
+	for lane := (i / 8) & 3; i < extent; i += 8 {
+		var w uint64
+		switch {
+		case i+8 <= n:
+			w = binary.LittleEndian.Uint64(src[i:])
+		case i < n:
+			var tail [8]byte
+			copy(tail[:], src[i:])
+			w = binary.LittleEndian.Uint64(tail[:])
 		}
-		if page[i] != b {
+		switch lane {
+		case 0:
+			h0 = (h0 ^ w) * mul
+		case 1:
+			h1 = (h1 ^ w) * mul
+		case 2:
+			h2 = (h2 ^ w) * mul
+		default:
+			h3 = (h3 ^ w) * mul
+		}
+		lane = (lane + 1) & 3
+	}
+	return ((h0*mul^h1)*mul^h2)*mul ^ h3
+}
+
+// pageEqual compares a memory page against src, treating bytes beyond
+// len(src) as zero. The common all-but-tail comparison runs word-wise
+// through bytes.Equal.
+func pageEqual(page, src []byte) bool {
+	n := len(src)
+	if n > len(page) {
+		n = len(page)
+	}
+	if !bytes.Equal(page[:n], src[:n]) {
+		return false
+	}
+	for _, b := range page[n:] {
+		if b != 0 {
 			return false
 		}
 	}
@@ -170,23 +347,28 @@ func pageEqual(page, src []byte) bool {
 
 // Contents returns a copy of the full segment.
 func (s *Segment) Contents() []byte {
-	out := make([]byte, len(s.mem))
-	copy(out, s.mem)
-	return out
+	return s.AppendContents(nil)
+}
+
+// AppendContents appends the full segment to buf and returns the extended
+// slice — the zero-allocation companion of Contents for callers that reuse
+// a buffer across commit cycles.
+func (s *Segment) AppendContents(buf []byte) []byte {
+	return append(buf, s.mem...)
 }
 
 // DirtyPages returns how many pages have been touched since the last
 // commit.
-func (s *Segment) DirtyPages() int { return len(s.dirty) }
+func (s *Segment) DirtyPages() int { return s.nDirty }
 
 // Commit atomically saves the register file, discards the undo log, and
 // re-arms the page traps. It returns what had to be written to stable
-// storage.
+// storage. The undo log's page buffers are recycled for future cycles, so
+// a steady-state commit allocates nothing.
 func (s *Segment) Commit(registers []byte) Stats {
-	st := Stats{Pages: len(s.dirty), Bytes: len(s.dirty)*s.pageSize + len(registers)}
+	st := Stats{Pages: s.nDirty, Bytes: s.nDirty*s.pageSize + len(registers)}
 	s.savedReg = append(s.savedReg[:0], registers...)
-	s.undo = s.undo[:0]
-	s.dirty = make(map[int]bool)
+	s.releaseUndo()
 	s.CommitCount++
 	return st
 }
@@ -194,13 +376,15 @@ func (s *Segment) Commit(registers []byte) Stats {
 // Rollback applies the undo log in reverse, returning the segment to its
 // last committed state, and returns the saved register file. After a
 // simulated crash this is exactly recovery: the undo log is persistent.
+// Restored pages' hash cache entries are invalidated (their contents no
+// longer match what SetContents last hashed).
 func (s *Segment) Rollback() []byte {
 	for i := len(s.undo) - 1; i >= 0; i-- {
 		rec := s.undo[i]
 		copy(s.mem[rec.page*s.pageSize:], rec.data)
+		s.hashValid.clear(rec.page)
 	}
-	s.undo = s.undo[:0]
-	s.dirty = make(map[int]bool)
+	s.releaseUndo()
 	reg := make([]byte, len(s.savedReg))
 	copy(reg, s.savedReg)
 	return reg
