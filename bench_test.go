@@ -12,6 +12,7 @@ import (
 	"failtrans/internal/dc"
 	"failtrans/internal/faults"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
@@ -249,9 +250,11 @@ func (h *heapFlipAt) At(p *sim.Proc, site string) sim.FaultKind {
 // ---- Microbenchmarks of the hot substrate paths ----
 
 // BenchmarkVistaCommit measures a Vista page-diff commit of a 64 KB image
-// with one dirty page.
+// with one dirty page, with the observability metrics slot attached (the
+// instrumented path must stay at 0 allocs/op).
 func BenchmarkVistaCommit(b *testing.B) {
 	seg := vista.NewSegment(0, 4096)
+	seg.Metrics = &obs.VistaMetrics{}
 	img := make([]byte, 64*1024)
 	seg.SetContents(img)
 	seg.Commit(nil)
@@ -305,10 +308,12 @@ func BenchmarkSaveWorkChecker(b *testing.B) {
 }
 
 // BenchmarkDCCommit measures one full Discount Checking commit of the nvi
-// editor state (marshal + page diff + commit bookkeeping).
+// editor state (marshal + page diff + commit bookkeeping), with the
+// observability metrics registry attached (must stay at 0 allocs/op).
 func BenchmarkDCCommit(b *testing.B) {
 	e := nvi.New("doc.txt", faults.NviInitial())
 	w := sim.NewWorld(1, e)
+	w.EnableObs(false)
 	d := dc.New(w, protocol.CPVS, stablestore.Rio)
 	if err := d.Attach(); err != nil {
 		b.Fatal(err)

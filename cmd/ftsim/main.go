@@ -5,6 +5,12 @@
 // Usage:
 //
 //	ftsim -app nvi -protocol CPVS -medium rio [-scale 1] [-stop proc:step]...
+//	      [-tracefile out.json] [-metrics] [-debug]
+//
+// -tracefile writes a Chrome trace-event / Perfetto-compatible JSON timeline
+// of the run over virtual time (one track per process; spans for commits,
+// rollbacks, replay windows and 2PC rounds; flow arrows for happens-before
+// edges). -metrics prints the full counter/histogram snapshot.
 package main
 
 import (
@@ -16,11 +22,44 @@ import (
 	"failtrans/internal/bench"
 	"failtrans/internal/dc"
 	"failtrans/internal/event"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/stablestore"
 	"failtrans/internal/trace"
 )
+
+// apps lists the workloads BuildWorld accepts.
+var apps = []string{"nvi", "magic", "xpilot", "treadmarks"}
+
+// validateChoices rejects bad -app/-protocol/-medium values before any work
+// happens, each with a one-line error naming the accepted values.
+func validateChoices(app, pol, medium string) error {
+	ok := false
+	for _, a := range apps {
+		if app == a {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown -app %q (accepted: %s)", app, strings.Join(apps, ", "))
+	}
+	if medium != "rio" && medium != "disk" {
+		return fmt.Errorf("unknown -medium %q (accepted: rio, disk)", medium)
+	}
+	if pol != "NONE" {
+		if _, err := protocol.ByName(pol); err != nil {
+			names := make([]string, 0, len(protocol.Space())+1)
+			names = append(names, "NONE")
+			for _, p := range protocol.Space() {
+				names = append(names, p.Name)
+			}
+			return fmt.Errorf("unknown -protocol %q (accepted: %s)", pol, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
 
 type stopList []string
 
@@ -35,13 +74,26 @@ func main() {
 	seed := flag.Int64("seed", 11, "simulation seed")
 	verbose := flag.Bool("v", false, "print visible output")
 	dump := flag.String("dump", "", "write the recorded event trace (JSON lines) to this file")
+	tracefile := flag.String("tracefile", "", "write a Perfetto/Chrome trace-event JSON timeline (virtual time) to this file")
+	metricsFlag := flag.Bool("metrics", false, "print the full metrics snapshot after the run")
+	debug := flag.Bool("debug", false, "print scheduler/recovery debug diagnostics to stderr")
 	var stops stopList
 	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
 	flag.Parse()
 
+	if err := validateChoices(*app, *polName, *mediumName); err != nil {
+		fail(err)
+	}
+
 	w, err := bench.BuildWorld(*app, *scale, *seed)
 	if err != nil {
 		fail(err)
+	}
+	if *metricsFlag || *tracefile != "" {
+		w.EnableObs(*tracefile != "")
+	}
+	if *debug {
+		w.DebugLog = &obs.DebugLog{Enabled: true, W: os.Stderr}
 	}
 	medium := stablestore.Rio
 	if *mediumName == "disk" {
@@ -135,6 +187,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("trace:          %s (%s)\n", *dump, trace.Summarize(w.Trace))
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fail(err)
+		}
+		if err := w.Tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("tracefile:      %s (%d trace events)\n", *tracefile, w.Tracer.Len())
+	}
+	if *metricsFlag {
+		fmt.Println("--- metrics ---")
+		w.Metrics.WriteSnapshot(os.Stdout)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"failtrans/internal/dc"
 	"failtrans/internal/faults"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
@@ -38,6 +39,8 @@ type Fig8Row struct {
 	FPSRio      float64
 	FPSDisk     float64
 	LogRecords  int64
+	// Metrics is the observability-layer summary of the DC (Rio) run.
+	Metrics obs.RunSummary
 }
 
 // Fig8Result is one application's protocol-space sweep.
@@ -135,65 +138,75 @@ func MagicSession(seed int64, n int) []string {
 	return out
 }
 
-// runOnce executes one (app, protocol, medium) cell and returns virtual
-// duration, checkpoint count, log records, and client frames (xpilot).
-func runOnce(app string, scale int, pol *protocol.Policy, medium stablestore.Medium) (time.Duration, int, int64, int, error) {
+// onceResult is one (app, protocol, medium) cell's measurements.
+type onceResult struct {
+	clock   time.Duration
+	ckpts   int
+	logs    int64
+	frames  int
+	metrics obs.RunSummary
+}
+
+// runOnce executes one (app, protocol, medium) cell with the metrics
+// registry attached and returns virtual duration, checkpoint count, log
+// records, client frames (xpilot), and the metrics summary.
+func runOnce(app string, scale int, pol *protocol.Policy, medium stablestore.Medium) (onceResult, error) {
 	w, err := BuildWorld(app, scale, 11)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return onceResult{}, err
 	}
 	w.RecordTrace = false
+	m, _ := w.EnableObs(false)
 	var d *dc.DC
 	if pol != nil {
 		d = dc.New(w, *pol, medium)
 		if err := d.Attach(); err != nil {
-			return 0, 0, 0, 0, err
+			return onceResult{}, err
 		}
 	}
 	if err := w.Run(); err != nil {
-		return 0, 0, 0, 0, err
+		return onceResult{}, err
 	}
-	ckpts, logs := 0, int64(0)
+	res := onceResult{clock: w.Clock, metrics: m.Summarize()}
 	if d != nil {
-		ckpts = d.Stats.TotalCheckpoints()
-		logs = d.Stats.LogRecords
+		res.ckpts = d.Stats.TotalCheckpoints()
+		res.logs = d.Stats.LogRecords
 	}
-	frames := 0
 	if app == "xpilot" {
-		frames = len(w.Outputs[1])
+		res.frames = len(w.Outputs[1])
 	}
-	return w.Clock, ckpts, logs, frames, nil
+	return res, nil
 }
 
 // Fig8 runs the full protocol sweep for one application.
 func Fig8(app string, scale int) (*Fig8Result, error) {
-	base, _, _, baseFrames, err := runOnce(app, scale, nil, stablestore.Rio)
+	base, err := runOnce(app, scale, nil, stablestore.Rio)
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig8Result{App: app, Baseline: base}
+	res := &Fig8Result{App: app, Baseline: base.clock}
 	for i := range protocol.Measured() {
 		pol := protocol.Measured()[i]
-		rioT, ckpts, logs, rioFrames, err := runOnce(app, scale, &pol, stablestore.Rio)
+		rio, err := runOnce(app, scale, &pol, stablestore.Rio)
 		if err != nil {
 			return nil, err
 		}
-		diskT, _, _, diskFrames, err := runOnce(app, scale, &pol, stablestore.Disk)
+		disk, err := runOnce(app, scale, &pol, stablestore.Disk)
 		if err != nil {
 			return nil, err
 		}
 		row := Fig8Row{
 			Protocol:        pol.Name,
-			Checkpoints:     ckpts,
-			LogRecords:      logs,
-			OverheadRioPct:  100 * (rioT.Seconds() - base.Seconds()) / base.Seconds(),
-			OverheadDiskPct: 100 * (diskT.Seconds() - base.Seconds()) / base.Seconds(),
+			Checkpoints:     rio.ckpts,
+			LogRecords:      rio.logs,
+			OverheadRioPct:  100 * (rio.clock.Seconds() - base.clock.Seconds()) / base.clock.Seconds(),
+			OverheadDiskPct: 100 * (disk.clock.Seconds() - base.clock.Seconds()) / base.clock.Seconds(),
+			Metrics:         rio.metrics,
 		}
 		if app == "xpilot" {
-			row.CkptsPerSec = float64(ckpts) / rioT.Seconds()
-			row.FPSRio = float64(rioFrames) / rioT.Seconds()
-			row.FPSDisk = float64(diskFrames) / diskT.Seconds()
-			_ = baseFrames
+			row.CkptsPerSec = float64(rio.ckpts) / rio.clock.Seconds()
+			row.FPSRio = float64(rio.frames) / rio.clock.Seconds()
+			row.FPSDisk = float64(disk.frames) / disk.clock.Seconds()
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -10,6 +10,7 @@ import (
 	"failtrans/internal/apps/nvi"
 	"failtrans/internal/dc"
 	"failtrans/internal/faults"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
@@ -62,6 +63,8 @@ type Fig8BenchRow struct {
 	LogRecords      int64   `json:"log_records"`
 	OverheadRioPct  float64 `json:"overhead_rio_pct"`
 	OverheadDiskPct float64 `json:"overhead_disk_pct"`
+	// Metrics is the observability-layer summary of the DC (Rio) run.
+	Metrics obs.RunSummary `json:"metrics"`
 }
 
 // Fig8Summary is one application's protocol sweep in the bench report.
@@ -107,9 +110,12 @@ func runMicro(name string, body func(b *testing.B)) MicroResult {
 }
 
 // benchVistaCommit measures a Vista page-diff commit of a 64 KB image with
-// one dirty page per iteration (steady state: zero allocations).
+// one dirty page per iteration (steady state: zero allocations). The
+// metrics slot is attached to prove instrumentation keeps the path
+// allocation-free.
 func benchVistaCommit(b *testing.B) {
 	seg := vista.NewSegment(0, 4096)
+	seg.Metrics = &obs.VistaMetrics{}
 	img := make([]byte, 64*1024)
 	seg.SetContents(img)
 	seg.Commit(nil)
@@ -124,6 +130,9 @@ func benchVistaCommit(b *testing.B) {
 func benchNviDC(b *testing.B) (*dc.DC, *sim.Proc) {
 	e := nvi.New("doc.txt", faults.NviInitial())
 	w := sim.NewWorld(1, e)
+	// Metrics stay attached while measuring: the commit path must remain
+	// allocation-free with instrumentation enabled.
+	w.EnableObs(false)
 	d := dc.New(w, protocol.CPVS, stablestore.Rio)
 	if err := d.Attach(); err != nil {
 		b.Fatal(err)
@@ -187,6 +196,7 @@ func RunBench(scale int) (*BenchReport, error) {
 				LogRecords:      row.LogRecords,
 				OverheadRioPct:  row.OverheadRioPct,
 				OverheadDiskPct: row.OverheadDiskPct,
+				Metrics:         row.Metrics,
 			})
 		}
 		rep.Fig8 = append(rep.Fig8, sum)

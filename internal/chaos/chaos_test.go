@@ -7,6 +7,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"failtrans/internal/dc"
 	"failtrans/internal/faults"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
@@ -216,6 +218,91 @@ func TestChaos(t *testing.T) {
 				})
 			}
 		})
+	}
+}
+
+// TestChaosObservability runs one instrumented gauntlet round end to end —
+// the nvi editor under CPVS with stop failures and a kernel fault window —
+// and checks that the observability layer saw the whole story: crash and
+// fault metrics accumulated, rollbacks were measured, and the exported
+// trace is valid Chrome trace-event JSON with the promised shapes.
+func TestChaosObservability(t *testing.T) {
+	e := nvi.New("doc.txt", faults.NviInitial())
+	e.ThinkTime = 0
+	e.RecoveryFile = true
+	w := kernelWorld(1, e)
+	w.Procs[0].Ctx().Inputs = nvi.Script(faults.NviSession(3, 200))
+	w.RecordTrace = false
+	w.MaxSteps = 2_000_000
+	m, tr := w.EnableObs(true)
+	k := w.OS.(*kernel.Kernel)
+	d := dc.New(w, protocol.CPVS, stablestore.Rio)
+	crashes := 0
+	d.RecoveryHook = func(p *sim.Proc, reason string) {
+		crashes++
+		if crashes > 4 {
+			d.DisableRecovery = true
+		}
+	}
+	if err := d.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	w.ScheduleStop(0, 40)
+	injected := false
+	injectAt := 5 * time.Millisecond
+	for {
+		more, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		if !injected && w.Clock >= injectAt {
+			injected = true
+			k.InjectFault(0, 2*time.Millisecond)
+		}
+	}
+	if !w.AllDone() && !w.Procs[0].Dead() {
+		t.Fatal("instrumented run hung (neither done nor abandoned)")
+	}
+
+	pm := &m.Procs[0]
+	if pm.Crashes == 0 {
+		t.Error("metrics recorded no crashes despite a scheduled stop")
+	}
+	if pm.Rollbacks == 0 || pm.RollbackDepth.Count != pm.Rollbacks {
+		t.Errorf("rollback metrics inconsistent: rollbacks=%d depth count=%d",
+			pm.Rollbacks, pm.RollbackDepth.Count)
+	}
+	if pm.Commits == 0 || pm.CommitBytes == 0 {
+		t.Errorf("commit metrics empty: commits=%d bytes=%d", pm.Commits, pm.CommitBytes)
+	}
+	if m.FaultWindows == 0 {
+		t.Error("kernel fault window was injected but not counted")
+	}
+	if pm.Syscalls == 0 || len(m.SyscallByName) == 0 {
+		t.Error("kernel syscall metrics empty under a syscall-heavy workload")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tracks, spans, fs, fe, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("gauntlet trace is not valid Chrome trace JSON: %v", err)
+	}
+	if tracks < 1 || spans == 0 {
+		t.Errorf("trace shapes too thin: tracks=%d spans=%d", tracks, spans)
+	}
+	if fs != fe {
+		t.Errorf("unbalanced flow arrows: %d starts, %d ends", fs, fe)
+	}
+	for _, want := range []string{`"commit"`, `"rollback"`, `"fault-window"`, `"crash: `} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %s events", want)
+		}
 	}
 }
 

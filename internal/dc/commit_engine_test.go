@@ -1,6 +1,7 @@
 package dc
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -53,22 +54,60 @@ func TestCommitSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestCommitSteadyStateZeroAllocsWithMetrics re-pins the zero-allocation
+// acceptance property with the observability layer's per-process metrics
+// attached: instrumentation must be free on the commit hot path.
+func TestCommitSteadyStateZeroAllocsWithMetrics(t *testing.T) {
+	w := sim.NewWorld(1, &idleProg{})
+	w.RecordTrace = false
+	m, _ := w.EnableObs(false)
+	d := New(w, protocol.CPVS, stablestore.Rio)
+	if err := d.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Procs[0]
+	for k := 0; k < 3; k++ { // warm the image buffer and undo pool
+		if err := d.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := d.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("instrumented steady-state commit allocates %.1f times per run, want 0", n)
+	}
+	pm := &m.Procs[0]
+	if pm.Commits == 0 || pm.CommitLatency.Count != pm.Commits {
+		t.Errorf("commit metrics did not accumulate: commits=%d latency count=%d", pm.Commits, pm.CommitLatency.Count)
+	}
+	if m.Vista[0].Commits == 0 {
+		t.Error("vista metrics slot was not wired to the segment")
+	}
+}
+
 // TestParallelCoordinatedCommitDeterministic runs the requester/responder
 // pair under CPV-2PC twice — once on the serial coordinated-commit path,
 // once with the member page diffs fanned out to goroutines — and demands
-// byte-identical traces, outputs, virtual clocks and stats. The parallel
-// diff phase must not reorder or perturb any globally visible bookkeeping.
+// byte-identical traces, outputs, virtual clocks, stats, metrics snapshots
+// and observability trace JSON. The parallel diff phase must not reorder or
+// perturb any globally visible bookkeeping, including trace emission.
 func TestParallelCoordinatedCommitDeterministic(t *testing.T) {
 	type outcome struct {
-		events  interface{}
-		outputs []string
-		clock   time.Duration
-		ckpts   int
-		bytes   int64
-		rounds  int
+		events   interface{}
+		outputs  []string
+		clock    time.Duration
+		ckpts    int
+		bytes    int64
+		rounds   int
+		snapshot []byte
+		obsJSON  []byte
 	}
 	run := func(serial bool) outcome {
 		w := sim.NewWorld(13, &requester{Rounds: 5}, &responder{Max: 5})
+		m, tr := w.EnableObs(true)
 		d := New(w, protocol.CPV2PC, stablestore.Rio)
 		d.SerialCommit = serial
 		if err := d.Attach(); err != nil {
@@ -77,13 +116,19 @@ func TestParallelCoordinatedCommitDeterministic(t *testing.T) {
 		if err := w.Run(); err != nil {
 			t.Fatal(err)
 		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
 		return outcome{
-			events:  w.Trace.Events,
-			outputs: w.GlobalOutputs,
-			clock:   w.Clock,
-			ckpts:   d.Stats.TotalCheckpoints(),
-			bytes:   d.Stats.CommitBytes,
-			rounds:  d.Stats.TwoPhaseRounds,
+			events:   w.Trace.Events,
+			outputs:  w.GlobalOutputs,
+			clock:    w.Clock,
+			ckpts:    d.Stats.TotalCheckpoints(),
+			bytes:    d.Stats.CommitBytes,
+			rounds:   d.Stats.TwoPhaseRounds,
+			snapshot: m.Snapshot(),
+			obsJSON:  buf.Bytes(),
 		}
 	}
 	serial := run(true)
@@ -103,4 +148,53 @@ func TestParallelCoordinatedCommitDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(serial.events, parallel.events) {
 		t.Fatal("event traces diverge between serial and parallel coordinated commits")
 	}
+	if !bytes.Equal(serial.snapshot, parallel.snapshot) {
+		t.Errorf("metrics snapshots diverge:\nserial:\n%s\nparallel:\n%s", serial.snapshot, parallel.snapshot)
+	}
+	if !bytes.Equal(serial.obsJSON, parallel.obsJSON) {
+		t.Error("observability trace JSON diverges between serial and parallel coordinated commits")
+	}
+}
+
+// TestObsDeterministicAcrossRuns pins the acceptance property of the
+// observability layer itself: the same seed produces a byte-identical
+// metrics snapshot and trace JSON file, including across a crash and a
+// log-constrained re-execution.
+func TestObsDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		w := sim.NewWorld(29, &requester{Rounds: 6}, &responder{Max: 6})
+		m, tr := w.EnableObs(true)
+		d := New(w, protocol.CPV2PC, stablestore.Rio)
+		if err := d.Attach(); err != nil {
+			t.Fatal(err)
+		}
+		w.ScheduleStop(0, 9)
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if d.Stats.Recoveries == 0 {
+			t.Fatal("no recovery happened; determinism test is vacuous")
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot(), buf.Bytes()
+	}
+	snapA, jsonA := run()
+	snapB, jsonB := run()
+	if !bytes.Equal(snapA, snapB) {
+		t.Errorf("same seed produced different metrics snapshots:\n%s\n---\n%s", snapA, snapB)
+	}
+	if !bytes.Equal(jsonA, jsonB) {
+		t.Error("same seed produced different trace JSON")
+	}
+	if len(jsonA) == 0 || tracksIn(jsonA) < 2 {
+		t.Errorf("trace JSON looks empty or untracked (%d bytes)", len(jsonA))
+	}
+}
+
+// tracksIn counts thread_name metadata records in a trace JSON blob.
+func tracksIn(data []byte) int {
+	return bytes.Count(data, []byte(`"thread_name"`))
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"failtrans/internal/event"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
@@ -94,6 +95,9 @@ type DC struct {
 	// stepsBase anchors relative event positions: the process's Steps
 	// counter just after its last commit (or restore point).
 	stepsBase []int
+	// replayOpen marks processes with an open "replay" tracer window, so
+	// the End pairs with its Begin exactly once.
+	replayOpen []bool
 	// flushed counts how many log records have reached stable storage
 	// (== len(ndLog) except under asynchronous logging, where the tail
 	// is volatile and is lost in a crash).
@@ -167,6 +171,7 @@ func New(w *sim.World, pol protocol.Policy, medium stablestore.Medium) *DC {
 		replaying:     make([]bool, n),
 		cursor:        make([]int, n),
 		stepsBase:     make([]int, n),
+		replayOpen:    make([]bool, n),
 		flushed:       make([]int, n),
 		pendingCommit: make([]string, n),
 		registers:     make([]byte, registerFileSize),
@@ -202,6 +207,11 @@ func (d *DC) Attach() error {
 func (d *DC) seg(i int) *vista.Segment {
 	if d.segs[i] == nil {
 		d.segs[i] = vista.NewSegment(0, d.PageSize)
+		if m := d.World.Metrics; m != nil && i < len(m.Vista) {
+			// Each segment gets its own fixed slot: coordinated commits
+			// diff different segments in parallel goroutines.
+			d.segs[i].Metrics = &m.Vista[i]
+		}
 	}
 	return d.segs[i]
 }
@@ -255,11 +265,23 @@ func (d *DC) diffOne(p *sim.Proc) (vista.Stats, error) {
 // in fixed member order so seeded runs stay byte-identical regardless of
 // how the diff phase was scheduled.
 func (d *DC) finishCommit(p *sim.Proc, st vista.Stats, label string) {
+	start := p.Ctx().NowVirtual()
 	cost := d.Medium.CommitCost(st.Bytes)
 	d.World.AddTime(p, cost)
 	d.Stats.Checkpoints[p.Index]++
 	d.Stats.CommitBytes += int64(st.Bytes)
 	d.Stats.CommitTime += cost
+	if m := d.World.Metrics; m != nil {
+		pm := &m.Procs[p.Index]
+		pm.Commits++
+		pm.CommitBytes += int64(st.Bytes)
+		pm.CommitPages += int64(st.Pages)
+		pm.CommitLatency.ObserveDuration(cost)
+		pm.CommitSize.Observe(int64(st.Bytes))
+	}
+	if t := d.World.Tracer; t != nil {
+		t.SpanArgs(p.Index, "dc", "commit", start, cost, "label", label, "bytes", int64(st.Bytes))
+	}
 	d.World.RecordCommit(p, label)
 	d.World.CommitPoint(p)
 	d.ndSince[p.Index] = false
@@ -289,9 +311,20 @@ func (d *DC) finishCommit(p *sim.Proc, st vista.Stats, label string) {
 // serial path.
 func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label string) {
 	d.Stats.TwoPhaseRounds++
-	d.World.AddTime(trigger, 2*d.World.Latency) // prepare + commit rounds
+	if m := d.World.Metrics; m != nil {
+		m.TwoPhaseRounds++
+	}
+	start := trigger.Ctx().NowVirtual()
+	rounds := 2 * d.World.Latency
+	d.World.AddTime(trigger, rounds) // prepare + commit rounds
+	tr := d.World.Tracer
+	if tr != nil {
+		tr.SpanArgs(trigger.Index, "dc", "2pc", start, rounds, "label", label, "members", int64(len(members)))
+	}
 	if d.SerialCommit || d.CheckBeforeCommit || d.Policy.LogAsync || len(members) < 2 {
 		for _, q := range members {
+			fid := d.flowToMember(tr, trigger, q, start)
+			qs := q.Ctx().NowVirtual()
 			err := d.commitOne(q, label)
 			if err != nil && !errors.Is(err, errCheckFailed) {
 				// A process whose state cannot be serialized cannot
@@ -300,6 +333,9 @@ func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label str
 			}
 			if q != trigger {
 				d.World.Delay(q, d.Medium.CommitCost(0))
+			}
+			if fid != 0 {
+				tr.FlowEnd(q.Index, "dc", "2pc", fid, qs)
 			}
 		}
 		return
@@ -317,11 +353,30 @@ func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label str
 		if err := d.coErrs[i]; err != nil {
 			panic(err)
 		}
+		fid := d.flowToMember(tr, trigger, q, start)
+		qs := q.Ctx().NowVirtual()
 		d.finishCommit(q, d.coStats[i], label)
 		if q != trigger {
 			d.World.Delay(q, d.Medium.CommitCost(0))
 		}
+		if fid != 0 {
+			tr.FlowEnd(q.Index, "dc", "2pc", fid, qs)
+		}
 	}
+}
+
+// flowToMember opens a coordinator→member flow arrow anchored in the
+// trigger's 2pc span and returns its id (0 when not traced or q is the
+// trigger itself). The caller terminates the arrow at the member's commit.
+// Both coordinated paths (serial and parallel diff) call it at the same
+// point in member order, so their trace buffers stay byte-identical.
+func (d *DC) flowToMember(tr *obs.Tracer, trigger, q *sim.Proc, start time.Duration) int64 {
+	if tr == nil || q == trigger {
+		return 0
+	}
+	fid := tr.NewFlowID()
+	tr.FlowStart(trigger.Index, "dc", "2pc", fid, start)
+	return fid
 }
 
 // dependentSet returns the processes whose uncommitted non-determinism p
@@ -357,11 +412,26 @@ func (d *DC) flushLog(p *sim.Proc) {
 	for _, rec := range pending {
 		bytes += len(rec.val)
 	}
+	start := p.Ctx().NowVirtual()
 	cost := d.Medium.LogCost(bytes)
 	d.World.AddTime(p, cost)
 	d.Stats.LogTime += cost
 	d.flushed[i] = len(d.ndLog[i])
 	d.World.DropRetained(p)
+	d.noteLogForce(p, start, cost, bytes)
+}
+
+// noteLogForce accounts one synchronous log force (a flush of buffered
+// records or a single-record sync write) in the metrics and the trace.
+func (d *DC) noteLogForce(p *sim.Proc, start time.Duration, cost time.Duration, bytes int) {
+	if m := d.World.Metrics; m != nil {
+		pm := &m.Procs[p.Index]
+		pm.LogForces++
+		pm.LogForceLatency.ObserveDuration(cost)
+	}
+	if t := d.World.Tracer; t != nil {
+		t.SpanArgs(p.Index, "dc", "log-force", start, cost, "", "", "bytes", int64(bytes))
+	}
 }
 
 // BeforeEvent implements sim.Recovery: the commit-prior-to family.
@@ -422,6 +492,11 @@ func (d *DC) mustCommit(p *sim.Proc, label string) {
 // AfterEvent implements sim.Recovery: dependency tracking and the
 // commit-after family.
 func (d *DC) AfterEvent(p *sim.Proc, ev event.Event) {
+	if d.replaying[p.Index] {
+		if m := d.World.Metrics; m != nil {
+			m.Procs[p.Index].ReplayedEvents++
+		}
+	}
 	switch ev.Kind {
 	case event.Send:
 		// Piggyback p's uncommitted-ND dependency snapshot on the
@@ -493,6 +568,7 @@ func (d *DC) SupplyND(p *sim.Proc, label string) ([]byte, bool) {
 	}
 	if d.cursor[i] >= len(d.ndLog[i]) {
 		d.replaying[i] = false
+		d.endReplayWindow(p)
 		return nil, false
 	}
 	rec := d.ndLog[i][d.cursor[i]]
@@ -507,6 +583,7 @@ func (d *DC) SupplyND(p *sim.Proc, label string) ([]byte, bool) {
 	d.cursor[i]++
 	if d.cursor[i] >= len(d.ndLog[i]) {
 		d.replaying[i] = false
+		d.endReplayWindow(p)
 	}
 	return rec.val, true
 }
@@ -522,6 +599,7 @@ func (d *DC) divergeLog(p *sim.Proc) {
 	}
 	d.ndLog[i] = d.ndLog[i][:d.cursor[i]]
 	d.replaying[i] = false
+	d.endReplayWindow(p)
 }
 
 // OnBlocked implements sim.Recovery: when a replaying process blocks on
@@ -563,10 +641,12 @@ func (d *DC) RecordND(p *sim.Proc, label string, val []byte) bool {
 		// the next flush point.
 		return true
 	}
+	start := p.Ctx().NowVirtual()
 	cost := d.Medium.LogCost(len(val))
 	d.World.AddTime(p, cost)
 	d.Stats.LogTime += cost
 	d.flushed[i] = len(d.ndLog[i])
+	d.noteLogForce(p, start, cost, len(val))
 	return true
 }
 
@@ -597,6 +677,10 @@ func (d *DC) Checkpoint(p *sim.Proc) error { return d.commitOne(p, "explicit") }
 // image, rebuild session and kernel state, restore or log-replay messages.
 func (d *DC) Rollback(p *sim.Proc) error {
 	i := p.Index
+	// Depth must be read before the restore rewinds p.Steps.
+	depth := int64(p.Steps - d.stepsBase[i])
+	start := p.Ctx().NowVirtual()
+	d.endReplayWindow(p) // a crash mid-replay abandons the open window
 	seg := d.seg(i)
 	seg.Rollback()
 	img := seg.AppendContents(d.imgBuf[i][:0])
@@ -622,7 +706,32 @@ func (d *DC) Rollback(p *sim.Proc) error {
 	d.stepsBase[i] = p.Steps // restore point == last commit position
 	d.ndSince[i] = false
 	d.pendingCommit[i] = "" // a commit deferred by the crashed step is void
-	d.World.AddTime(p, d.Medium.CommitCost(len(img)))
+	cost := d.Medium.CommitCost(len(img))
+	d.World.AddTime(p, cost)
 	d.Stats.Recoveries++
+	if m := d.World.Metrics; m != nil {
+		pm := &m.Procs[i]
+		pm.Rollbacks++
+		pm.RolledBackEvents += depth
+		pm.RollbackDepth.Observe(depth)
+	}
+	if t := d.World.Tracer; t != nil {
+		t.SpanArgs(i, "dc", "rollback", start, cost, "", "", "depth", depth)
+		if d.replaying[i] {
+			// The constrained re-execution window opens where the restore
+			// ends and closes when the log runs dry or replay diverges.
+			t.Begin(i, "dc", "replay", start+cost)
+			d.replayOpen[i] = true
+		}
+	}
 	return nil
+}
+
+// endReplayWindow closes the process's open "replay" tracer window, if any.
+// Every site that clears replaying goes through it so Begin/End pair 1:1.
+func (d *DC) endReplayWindow(p *sim.Proc) {
+	if d.replayOpen[p.Index] {
+		d.replayOpen[p.Index] = false
+		d.World.Tracer.End(p.Index, p.Ctx().NowVirtual())
+	}
 }

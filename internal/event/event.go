@@ -43,6 +43,10 @@ const (
 	Crash
 )
 
+// KindCount is the number of defined kinds — the size of fixed per-kind
+// counter arrays (the observability layer indexes them by Kind).
+const KindCount = int(Crash) + 1
+
 // String returns the lower-case name of the kind.
 func (k Kind) String() string {
 	switch k {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"failtrans/internal/event"
+	"failtrans/internal/obs"
 )
 
 // ErrNodeCrashed is returned by every syscall after the node's kernel has
@@ -44,6 +45,8 @@ type kernelFault struct {
 	corrupted bool
 	// panicked is set once the window closes.
 	panicked bool
+	// traced marks a window with an open tracer Begin awaiting its End.
+	traced bool
 }
 
 type node struct {
@@ -73,12 +76,25 @@ type Kernel struct {
 	// OnPanic, if set, is called when a node's kernel panics.
 	OnPanic func(pid int)
 
+	// Metrics, if non-nil, receives per-syscall and fault-study counters.
+	Metrics *obs.Metrics
+	// Tracer, if non-nil, receives fault-window spans and corruption
+	// markers on the faulted process's track.
+	Tracer *obs.Tracer
+
 	nodes map[int]*node
 }
 
 // New returns a kernel with no nodes; nodes are created on first use.
 func New() *Kernel {
 	return &Kernel{Clock: func() time.Duration { return 0 }, nodes: make(map[int]*node)}
+}
+
+// SetObs implements sim.ObsSink: the world hands the kernel its metrics
+// registry and tracer when observability is enabled.
+func (k *Kernel) SetObs(m *obs.Metrics, t *obs.Tracer) {
+	k.Metrics = m
+	k.Tracer = t
 }
 
 func (k *Kernel) node(pid int) *node {
@@ -124,6 +140,13 @@ func (k *Kernel) Syscalls(pid int) int64 { return k.node(pid).Syscall }
 func (k *Kernel) InjectFault(pid int, window time.Duration) {
 	n := k.node(pid)
 	n.fault = &kernelFault{start: k.Clock(), window: window}
+	if k.Metrics != nil {
+		k.Metrics.FaultWindows++
+	}
+	if k.Tracer != nil {
+		k.Tracer.Begin(pid, "kernel", "fault-window", n.fault.start)
+		n.fault.traced = true
+	}
 }
 
 // FaultCorrupted reports whether pid's current/last fault corrupted any
@@ -149,6 +172,12 @@ func (k *Kernel) ExpandResources(pid int) int {
 // survive a reboot); filesystem contents, being on disk, survive.
 func (k *Kernel) Reboot(pid int) {
 	n := k.node(pid)
+	if n.fault != nil && n.fault.traced {
+		// The node went down with the window still open (e.g. a stop
+		// failure that never reached another syscall); close it here.
+		n.fault.traced = false
+		k.Tracer.End(pid, k.Clock())
+	}
 	n.fault = nil
 	n.fds = make(map[int]*fdEntry)
 	n.nextFD = 3
@@ -175,6 +204,14 @@ func (k *Kernel) Call(pid int, name string, args [][]byte) ([][]byte, event.NDCl
 		if n.fault.panicked || now >= n.fault.start+n.fault.window {
 			if !n.fault.panicked {
 				n.fault.panicked = true
+				if k.Metrics != nil {
+					k.Metrics.KernelPanics++
+				}
+				if n.fault.traced {
+					n.fault.traced = false
+					k.Tracer.End(pid, now)
+					k.Tracer.Instant(pid, "kernel", "panic", now)
+				}
 				if k.OnPanic != nil {
 					k.OnPanic(pid)
 				}
@@ -183,6 +220,9 @@ func (k *Kernel) Call(pid int, name string, args [][]byte) ([][]byte, event.NDCl
 		}
 	}
 	n.Syscall++
+	if k.Metrics != nil {
+		k.Metrics.Syscall(pid, name)
+	}
 	ret, err := k.dispatch(n, name, args)
 	if err != nil {
 		return nil, nd, err
@@ -206,6 +246,12 @@ func (k *Kernel) corrupt(pid int, n *node, ret [][]byte) [][]byte {
 		mut[bit/8] ^= 1 << (bit % 8)
 		ret[i] = mut
 		n.fault.corrupted = true
+		if k.Metrics != nil {
+			k.Metrics.FaultCorruptions++
+		}
+		if k.Tracer != nil {
+			k.Tracer.Instant(pid, "kernel", "corrupt", k.Clock())
+		}
 		if k.OnCorrupt != nil {
 			k.OnCorrupt(pid)
 		}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// DebugLog is the gated diagnostics sink: scheduler and recovery internals
+// route their debug prints through it instead of writing to stdout. A nil
+// logger, a disabled one, and one without a writer are all silent, so
+// instrumented code calls Printf unconditionally.
+type DebugLog struct {
+	// Enabled is the explicit debug flag; off (the default) is silent.
+	Enabled bool
+	// W receives the output (typically os.Stderr).
+	W io.Writer
+}
+
+// Printf writes one formatted diagnostic line when the logger is enabled.
+func (l *DebugLog) Printf(format string, args ...interface{}) {
+	if l == nil || !l.Enabled || l.W == nil {
+		return
+	}
+	fmt.Fprintf(l.W, format, args...)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// FlowIDBase offsets tracer-generated flow ids (2PC coordination arrows)
+// into a range disjoint from message ids, which the simulator assigns from
+// 1 upward and which the send→receive arrows use directly.
+const FlowIDBase = int64(1) << 40
+
+// Tracer buffers causal spans over virtual time and serializes them as
+// Chrome trace-event JSON (the format chrome://tracing, Perfetto and
+// speedscope ingest). One track (tid) per simulated process; spans for
+// commits, rollbacks, re-execution windows, 2PC rounds and kernel fault
+// windows; flow arrows for happens-before edges (send→receive,
+// coordinator→member).
+//
+// Events are buffered in execution order and written in that order, so a
+// seeded run reproduces the trace file byte for byte.
+type Tracer struct {
+	events     []traceEvent
+	trackNames map[int]string
+	flowSeq    int64
+}
+
+// traceEvent is one buffered Chrome trace event. ts/dur are virtual time.
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte // 'X' span, 'B'/'E' window, 'i' instant, 's'/'f' flow
+	tid  int
+	ts   time.Duration
+	dur  time.Duration
+	id   int64 // flow id, meaningful for 's'/'f'
+	// One optional string arg and one optional integer arg.
+	argKey  string
+	argVal  string
+	argIKey string
+	argIVal int64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{trackNames: make(map[int]string)}
+}
+
+// SetTrackName labels process tid's track (shown as the thread name).
+func (t *Tracer) SetTrackName(tid int, name string) { t.trackNames[tid] = name }
+
+// NewFlowID allocates a flow id outside the message-id range.
+func (t *Tracer) NewFlowID() int64 {
+	t.flowSeq++
+	return FlowIDBase + t.flowSeq
+}
+
+// Span records a complete span [start, start+dur) on process tid's track.
+func (t *Tracer) Span(tid int, cat, name string, start, dur time.Duration) {
+	t.events = append(t.events, traceEvent{name: name, cat: cat, ph: 'X', tid: tid, ts: start, dur: dur})
+}
+
+// SpanArgs is Span with one string and one integer argument attached.
+func (t *Tracer) SpanArgs(tid int, cat, name string, start, dur time.Duration, key, val string, ikey string, ival int64) {
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'X', tid: tid, ts: start, dur: dur,
+		argKey: key, argVal: val, argIKey: ikey, argIVal: ival,
+	})
+}
+
+// Begin opens a window on tid's track; End closes the innermost open one.
+func (t *Tracer) Begin(tid int, cat, name string, ts time.Duration) {
+	t.events = append(t.events, traceEvent{name: name, cat: cat, ph: 'B', tid: tid, ts: ts})
+}
+
+// End closes the window opened by the matching Begin on tid's track.
+func (t *Tracer) End(tid int, ts time.Duration) {
+	t.events = append(t.events, traceEvent{ph: 'E', tid: tid, ts: ts})
+}
+
+// Instant records a point event on tid's track.
+func (t *Tracer) Instant(tid int, cat, name string, ts time.Duration) {
+	t.events = append(t.events, traceEvent{name: name, cat: cat, ph: 'i', tid: tid, ts: ts})
+}
+
+// FlowStart opens flow arrow id at ts on tid's track. The arrow binds to
+// the slice enclosing ts, so emit the enclosing Span first.
+func (t *Tracer) FlowStart(tid int, cat, name string, id int64, ts time.Duration) {
+	t.events = append(t.events, traceEvent{name: name, cat: cat, ph: 's', tid: tid, ts: ts, id: id})
+}
+
+// FlowEnd terminates flow arrow id at ts on tid's track.
+func (t *Tracer) FlowEnd(tid int, cat, name string, id int64, ts time.Duration) {
+	t.events = append(t.events, traceEvent{name: name, cat: cat, ph: 'f', tid: tid, ts: ts, id: id})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// usec renders a virtual-time duration as Chrome's microsecond timestamp
+// with nanosecond precision, deterministically.
+func usec(d time.Duration) string {
+	ns := int64(d)
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// WriteJSON serializes the buffered trace: metadata first (process name,
+// per-track thread names sorted by tid), then every event in buffered
+// order. The output is a single JSON object Perfetto opens directly.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"failtrans\"}}")
+	tids := make([]int, 0, len(t.trackNames))
+	for tid := range t.trackNames {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}",
+			tid, strconv.Quote(t.trackNames[tid]))
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		bw.WriteString(",\n{")
+		if e.ph != 'E' {
+			fmt.Fprintf(bw, "\"name\":%s,\"cat\":%s,", strconv.Quote(e.name), strconv.Quote(e.cat))
+		}
+		fmt.Fprintf(bw, "\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%s", e.ph, e.tid, usec(e.ts))
+		switch e.ph {
+		case 'X':
+			fmt.Fprintf(bw, ",\"dur\":%s", usec(e.dur))
+		case 's', 'f':
+			fmt.Fprintf(bw, ",\"id\":%d", e.id)
+			if e.ph == 'f' {
+				bw.WriteString(",\"bp\":\"e\"")
+			}
+		case 'i':
+			bw.WriteString(",\"s\":\"t\"")
+		}
+		if e.argKey != "" || e.argIKey != "" {
+			bw.WriteString(",\"args\":{")
+			first := true
+			if e.argKey != "" {
+				fmt.Fprintf(bw, "%s:%s", strconv.Quote(e.argKey), strconv.Quote(e.argVal))
+				first = false
+			}
+			if e.argIKey != "" {
+				if !first {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%s:%d", strconv.Quote(e.argIKey), e.argIVal)
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "encoding/json"
+
+// chromeTrace mirrors the pieces of the Chrome trace-event schema the
+// exporter must emit.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	ID   int64                  `json:"id"`
+	BP   string                 `json:"bp"`
+	Args map[string]interface{} `json:"args"`
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks the
+// shapes the exporter promises: named tracks, at least one span, and flow
+// arrows that start and finish. It is shared by the unit tests, the chaos
+// gauntlet and the determinism suite.
+func ValidateChromeTrace(data []byte) (tracks, spans, flowStarts, flowEnds int, err error) {
+	var tr chromeTrace
+	if err = json.Unmarshal(data, &tr); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				tracks++
+			}
+		case "X":
+			spans++
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+		}
+	}
+	return tracks, spans, flowStarts, flowEnds, nil
+}

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"io"
 	"testing"
 	"time"
+
+	"failtrans/internal/obs"
 )
 
 // TestInboxMinCacheMatchesScan cross-checks the cached inbox delivery
@@ -69,7 +72,7 @@ func TestInboxMinCacheMatchesScan(t *testing.T) {
 // no-op — in particular the debug diagnostic must not index the queue head.
 func TestFlushReplayQueueEmpty(t *testing.T) {
 	w := NewWorld(1, &counter{N: 1})
-	w.Debug = true
+	w.DebugLog = &obs.DebugLog{Enabled: true, W: io.Discard}
 	p := w.Procs[0]
 	w.flushReplayQueue(p) // must not panic
 	if len(p.inbox) != 0 || len(p.replayQueue) != 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"failtrans/internal/event"
+	"failtrans/internal/obs"
 )
 
 // Msg is one message in flight or delivered.
@@ -80,7 +81,8 @@ type Proc struct {
 	ckptSenders []int
 }
 
-// inboxAdd appends a message, maintaining the cached delivery minimum.
+// inboxAdd appends a message, maintaining the cached delivery minimum and
+// the inbox-depth gauge.
 func (p *Proc) inboxAdd(m *Msg) {
 	p.inbox = append(p.inbox, m)
 	if len(p.inbox) == 1 {
@@ -88,6 +90,12 @@ func (p *Proc) inboxAdd(m *Msg) {
 		p.inboxMinOK = true
 	} else if p.inboxMinOK && m.DeliverAt < p.inboxMin {
 		p.inboxMin = m.DeliverAt
+	}
+	if mr := p.World.Metrics; mr != nil {
+		pm := &mr.Procs[p.Index]
+		if depth := int64(len(p.inbox)); depth > pm.InboxPeak {
+			pm.InboxPeak = depth
+		}
 	}
 }
 
@@ -163,8 +171,18 @@ type World struct {
 
 	// EventCount counts all recorded events (even with tracing off).
 	EventCount int64
-	// Debug enables diagnostics prints.
-	Debug bool
+
+	// Metrics, if non-nil, receives the per-process counters, gauges and
+	// virtual-time histograms of the observability layer. The hooks are
+	// fixed-slot increments, so the instrumented hot paths stay
+	// allocation-free.
+	Metrics *obs.Metrics
+	// Tracer, if non-nil, receives causal spans and flow arrows over
+	// virtual time (exported as Chrome trace-event JSON).
+	Tracer *obs.Tracer
+	// DebugLog, if non-nil and enabled, receives scheduler diagnostics;
+	// nil (the default) is silent.
+	DebugLog *obs.DebugLog
 
 	msgSeq    int64
 	stepCount int
@@ -211,6 +229,33 @@ func (w *World) record(p *Proc, kind event.Kind, nd event.NDClass, logged bool, 
 	}
 	w.EventCount++
 	p.Steps++
+	if m := w.Metrics; m != nil {
+		pm := &m.Procs[p.Index]
+		pm.Events[kind]++
+		if ev.EffectivelyND() {
+			pm.EffectivelyND++
+		} else if ev.Logged {
+			pm.Logged++
+		}
+	}
+	if t := w.Tracer; t != nil {
+		ts := w.Clock + p.ctx.elapsed
+		switch kind {
+		// Sends and receives become small slices carrying the ends of the
+		// happens-before flow arrow for their message; visible events are
+		// instants. Internal events are counted but not traced (a long run
+		// has millions), and commit spans are emitted by the recovery
+		// layer, which knows their cost and payload.
+		case event.Send:
+			t.Span(p.Index, "net", "send", ts-EventOverhead, EventOverhead)
+			t.FlowStart(p.Index, "net", "msg", msg, ts-EventOverhead)
+		case event.Receive:
+			t.Span(p.Index, "net", "recv", ts-EventOverhead, EventOverhead)
+			t.FlowEnd(p.Index, "net", "msg", msg, ts-EventOverhead)
+		case event.Visible:
+			t.Instant(p.Index, "app", label, ts)
+		}
+	}
 	if w.RecordTrace {
 		return w.Trace.MustAppend(ev)
 	}
@@ -299,9 +344,8 @@ func (w *World) flushReplayQueue(p *Proc) {
 	if len(p.replayQueue) == 0 {
 		return
 	}
-	if w.Debug {
-		fmt.Printf("DEBUG flush p%d steps=%d base=%d queue=%d headpos=%d\n", p.Index, p.Steps, p.retainBase, len(p.replayQueue), p.replayQueue[0].pos)
-	}
+	w.DebugLog.Printf("sim: flush replay queue p%d steps=%d base=%d queue=%d headpos=%d\n",
+		p.Index, p.Steps, p.retainBase, len(p.replayQueue), p.replayQueue[0].pos)
 	pre := make([]*Msg, 0, len(p.replayQueue)+len(p.inbox))
 	for _, r := range p.replayQueue {
 		c := *r.m
@@ -389,6 +433,9 @@ func (w *World) Step() (bool, error) {
 	if w.MaxSteps > 0 && w.stepCount > w.MaxSteps {
 		return false, fmt.Errorf("sim: exceeded %d steps (livelock?)", w.MaxSteps)
 	}
+	if w.Metrics != nil {
+		w.Metrics.Steps++
+	}
 
 	p := pick
 	p.ctx.elapsed = 0
@@ -432,6 +479,12 @@ func (w *World) Step() (bool, error) {
 		p.wake = w.Clock + p.ctx.elapsed
 	case Crashed:
 		p.Crashes++
+		if w.Metrics != nil {
+			w.Metrics.Procs[p.Index].Crashes++
+		}
+		if w.Tracer != nil {
+			w.Tracer.Instant(p.Index, "fault", "crash: "+p.ctx.crashReason, w.Clock+p.ctx.elapsed)
+		}
 		p.ctx.crashed = false
 		recovered := false
 		if w.Recovery != nil {
@@ -457,6 +510,7 @@ func (w *World) Init() error {
 		return nil
 	}
 	w.inited = true
+	w.wireOSObs()
 	for _, p := range w.Procs {
 		if err := p.Prog.Init(p.ctx); err != nil {
 			return fmt.Errorf("sim: init process %d (%s): %w", p.Index, p.Prog.Name(), err)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"failtrans/internal/obs"
 )
 
 // TestCommitCycleZeroAllocs pins the tentpole property of the incremental
@@ -41,6 +43,34 @@ func TestCommitCycleZeroAllocs(t *testing.T) {
 	setCycle()
 	if n := testing.AllocsPerRun(200, setCycle); n != 0 {
 		t.Errorf("SetContents→commit cycle allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestCommitCycleZeroAllocsWithMetrics proves the observability layer adds
+// zero allocations to the commit hot path: the same warmed write→commit and
+// SetContents→commit cycles, with a metrics slot attached, still allocate
+// nothing — every counter update is a plain fixed-slot increment.
+func TestCommitCycleZeroAllocsWithMetrics(t *testing.T) {
+	seg := NewSegment(0, 4096)
+	m := &obs.VistaMetrics{}
+	seg.Metrics = m
+	img := make([]byte, 64*1024)
+	seg.SetContents(img)
+	seg.Commit(nil)
+
+	i := 0
+	cycle := func() {
+		img[(i*4096+17)%len(img)] ^= 1
+		seg.SetContents(img)
+		seg.Commit(nil)
+		i++
+	}
+	cycle() // prime the buffer pool
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Errorf("instrumented SetContents→commit cycle allocates %.1f times per run, want 0", n)
+	}
+	if m.Commits == 0 || m.PagesDirtied == 0 {
+		t.Errorf("metrics did not accumulate: %+v", *m)
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+
+	"failtrans/internal/obs"
 )
 
 // DefaultPageSize matches the i386 page size the original used.
@@ -75,6 +77,13 @@ type Segment struct {
 	// CommitCount and LoggedBytes accumulate usage statistics.
 	CommitCount int
 	LoggedBytes int64
+
+	// Metrics, if non-nil, receives the segment's page-diff and undo-log
+	// counters (plain increments: the commit hot path stays at zero
+	// allocations with metrics enabled). Coordinated commits diff
+	// different segments in parallel, so each segment must be wired to its
+	// own slot.
+	Metrics *obs.VistaMetrics
 }
 
 // NewSegment returns a segment of the given initial size. pageSize <= 0
@@ -177,6 +186,10 @@ func (s *Segment) touchPage(p int) {
 	copy(img, s.mem[start:end])
 	s.undo = append(s.undo, undoRec{page: p, data: img})
 	s.LoggedBytes += int64(len(img))
+	if m := s.Metrics; m != nil {
+		m.PagesDirtied++
+		m.UndoBytes += int64(len(img))
+	}
 }
 
 // Write copies data into the segment at off, growing it as needed and
@@ -257,7 +270,13 @@ func (s *Segment) SetContents(data []byte) {
 				// read at all. A 64-bit collision (~2^-64 per page)
 				// would wrongly skip the copy; the commit path accepts
 				// that in exchange for halving clean-page work.
+				if m := s.Metrics; m != nil {
+					m.HashHits++
+				}
 				continue
+			}
+			if m := s.Metrics; m != nil {
+				m.HashMisses++
 			}
 		} else if pageEqual(s.mem[start:end], src) {
 			// First sighting of a clean page: adopt its hash so the
@@ -370,6 +389,9 @@ func (s *Segment) Commit(registers []byte) Stats {
 	s.savedReg = append(s.savedReg[:0], registers...)
 	s.releaseUndo()
 	s.CommitCount++
+	if m := s.Metrics; m != nil {
+		m.Commits++
+	}
 	return st
 }
 
@@ -385,6 +407,9 @@ func (s *Segment) Rollback() []byte {
 		s.hashValid.clear(rec.page)
 	}
 	s.releaseUndo()
+	if m := s.Metrics; m != nil {
+		m.Rollbacks++
+	}
 	reg := make([]byte, len(s.savedReg))
 	copy(reg, s.savedReg)
 	return reg
