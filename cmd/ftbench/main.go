@@ -10,14 +10,20 @@
 // with -json it writes the machine-readable BENCH.json checked in at the
 // repository root.
 //
+// Every campaign (fault-injection runs, Figure 8 cells) fans out over
+// -parallel workers; results are byte-identical to a serial run for the
+// same seed (see internal/campaign), so parallelism is purely a wall-clock
+// knob.
+//
 // Usage:
 //
 //	ftbench -experiment all|fig8|table1|table2|space [-app nvi] [-scale 1] [-crashes 50]
 //	ftbench -bench [-json BENCH.json] [-scale 1]
-//	ftbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	ftbench ... [-parallel N] [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"failtrans/internal/bench"
+	"failtrans/internal/obs"
 )
 
 func main() {
@@ -33,8 +40,9 @@ func main() {
 	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks)")
 	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count (1 = serial; results are identical either way)")
 	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
-	jsonPath := flag.String("json", "", "with -bench: also write the report as JSON to this path")
+	jsonPath := flag.String("json", "", "also write the results as JSON to this path")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -70,7 +78,7 @@ func main() {
 	}
 
 	if *doBench {
-		rep, err := bench.RunBench(*scale)
+		rep, err := bench.RunBench(*scale, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
 			os.Exit(1)
@@ -96,6 +104,13 @@ func main() {
 		return
 	}
 
+	// campObs accumulates per-worker campaign counters across every study
+	// below; report holds the experiment results for -json. The JSON
+	// deliberately excludes wall-clock and worker counters so a serial and
+	// a parallel run of the same seed produce byte-identical files.
+	campObs := obs.NewCampaignMetrics(*parallel)
+	report := map[string]any{}
+
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		if err := fn(); err != nil {
@@ -112,35 +127,40 @@ func main() {
 		if *app != "" {
 			apps = []string{*app}
 		}
+		var sweeps []*bench.Fig8Result
 		for _, a := range apps {
 			a := a
 			run("fig8/"+a, func() error {
-				res, err := bench.Fig8(a, *scale)
+				res, err := bench.Fig8(a, *scale, *parallel)
 				if err != nil {
 					return err
 				}
 				res.Print(os.Stdout)
+				sweeps = append(sweeps, res)
 				return nil
 			})
 		}
+		report["fig8"] = sweeps
 	}
 	if want("table1") {
 		run("table1", func() error {
-			res, err := bench.Table1(*crashes)
+			res, err := bench.Table1(*crashes, *parallel, campObs)
 			if err != nil {
 				return err
 			}
 			res.Print(os.Stdout)
+			report["table1"] = res
 			return nil
 		})
 	}
 	if want("table2") {
 		run("table2", func() error {
-			res, err := bench.Table2(*crashes)
+			res, err := bench.Table2(*crashes, *parallel, campObs)
 			if err != nil {
 				return err
 			}
 			res.Print(os.Stdout)
+			report["table2"] = res
 			return nil
 		})
 	}
@@ -149,5 +169,21 @@ func main() {
 			bench.PrintSpace(os.Stdout)
 			return nil
 		})
+	}
+
+	if campObs.Dispatched+campObs.SerialRuns > 0 {
+		campObs.WriteSummary(os.Stderr)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", *jsonPath)
 	}
 }

@@ -6,20 +6,28 @@
 //
 //	ftsim -app nvi -protocol CPVS -medium rio [-scale 1] [-stop proc:step]...
 //	      [-tracefile out.json] [-metrics] [-debug]
+//	ftsim -app nvi -seeds 20 [-parallel N]
 //
 // -tracefile writes a Chrome trace-event / Perfetto-compatible JSON timeline
 // of the run over virtual time (one track per process; spans for commits,
 // rollbacks, replay windows and 2PC rounds; flow arrows for happens-before
 // edges). -metrics prints the full counter/histogram snapshot.
+//
+// -seeds N runs the same configuration at seeds seed..seed+N-1 as a
+// campaign fanned out over -parallel workers, printing one summary line
+// per seed. The lines are printed in seed order and are byte-identical to
+// a -parallel=1 run (see internal/campaign).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"failtrans/internal/bench"
+	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/event"
 	"failtrans/internal/obs"
@@ -77,12 +85,24 @@ func main() {
 	tracefile := flag.String("tracefile", "", "write a Perfetto/Chrome trace-event JSON timeline (virtual time) to this file")
 	metricsFlag := flag.Bool("metrics", false, "print the full metrics snapshot after the run")
 	debug := flag.Bool("debug", false, "print scheduler/recovery debug diagnostics to stderr")
+	seeds := flag.Int("seeds", 1, "run a campaign over this many consecutive seeds instead of one run")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count for -seeds (1 = serial; output is identical either way)")
 	var stops stopList
 	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
 	flag.Parse()
 
 	if err := validateChoices(*app, *polName, *mediumName); err != nil {
 		fail(err)
+	}
+
+	if *seeds > 1 {
+		if *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 {
+			fail(fmt.Errorf("-seeds campaigns support none of -tracefile, -dump, -metrics, -debug, -stop (run a single seed for those)"))
+		}
+		if err := runCampaign(*app, *polName, *mediumName, *scale, *seed, *seeds, *parallel); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	w, err := bench.BuildWorld(*app, *scale, *seed)
@@ -206,6 +226,60 @@ func main() {
 		fmt.Println("--- metrics ---")
 		w.Metrics.WriteSnapshot(os.Stdout)
 	}
+}
+
+// runCampaign executes the configured workload at n consecutive seeds,
+// fanned out over workers, printing one line per seed. Lines are emitted
+// from the campaign's ordered accept callback, so the output is identical
+// for any worker count.
+func runCampaign(app, polName, mediumName string, scale int, baseSeed int64, n, workers int) error {
+	medium := stablestore.Rio
+	if mediumName == "disk" {
+		medium = stablestore.Disk
+	}
+	campObs := obs.NewCampaignMetrics(workers)
+	err := campaign.Run(campaign.Config{Workers: workers, Phase: "ftsim/" + app, Metrics: campObs}, n,
+		func(i int) (string, error) {
+			seed := baseSeed + int64(i)
+			w, err := bench.BuildWorld(app, scale, seed)
+			if err != nil {
+				return "", err
+			}
+			w.RecordTrace = true
+			var d *dc.DC
+			if polName != "NONE" {
+				pol, err := protocol.ByName(polName)
+				if err != nil {
+					return "", err
+				}
+				d = dc.New(w, pol, medium)
+				if err := d.Attach(); err != nil {
+					return "", err
+				}
+			}
+			if err := w.Run(); err != nil {
+				return "", err
+			}
+			ckpts, recoveries := 0, 0
+			if d != nil {
+				ckpts = d.Stats.TotalCheckpoints()
+				recoveries = d.Stats.Recoveries
+			}
+			saveWork := "upheld"
+			if len(recovery.CheckSaveWork(w.Trace)) > 0 {
+				saveWork = "violated"
+			}
+			return fmt.Sprintf("seed=%-6d vtime=%-14v events=%-8d ckpts=%-6d recoveries=%-3d save-work=%s",
+				seed, w.Clock, w.EventCount, ckpts, recoveries, saveWork), nil
+		},
+		func(i int, line string) bool {
+			fmt.Println(line)
+			return true
+		})
+	if err != nil {
+		return err
+	}
+	return campObs.WriteSummary(os.Stderr)
 }
 
 func fail(err error) {

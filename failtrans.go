@@ -32,6 +32,7 @@ package failtrans
 
 import (
 	"io"
+	"runtime"
 
 	"failtrans/internal/bench"
 	"failtrans/internal/dc"
@@ -221,15 +222,25 @@ type (
 )
 
 // Fig8 reproduces Figure 8 for one of "nvi", "magic", "xpilot",
-// "treadmarks" at the given scale (1 = quick).
-func Fig8(app string, scale int) (*Fig8Result, error) { return bench.Fig8(app, scale) }
+// "treadmarks" at the given scale (1 = quick). The sweep's cells run in
+// parallel across the machine's cores; results are byte-identical to a
+// serial sweep (see internal/campaign).
+func Fig8(app string, scale int) (*Fig8Result, error) {
+	return bench.Fig8(app, scale, runtime.GOMAXPROCS(0))
+}
 
 // Table1 reproduces the application fault-injection study with the given
-// crash target per fault type (the paper used 50).
-func Table1(crashTarget int) (*Table1Result, error) { return bench.Table1(crashTarget) }
+// crash target per fault type (the paper used 50). Injection runs fan out
+// across the machine's cores with results byte-identical to the serial
+// study.
+func Table1(crashTarget int) (*Table1Result, error) {
+	return bench.Table1(crashTarget, runtime.GOMAXPROCS(0), nil)
+}
 
-// Table2 reproduces the OS fault-injection study.
-func Table2(crashTarget int) (*Table2Result, error) { return bench.Table2(crashTarget) }
+// Table2 reproduces the OS fault-injection study, parallel as in Table1.
+func Table2(crashTarget int) (*Table2Result, error) {
+	return bench.Table2(crashTarget, runtime.GOMAXPROCS(0), nil)
+}
 
 // PrintProtocolSpace renders the Figure 3 protocol space.
 func PrintProtocolSpace(w io.Writer) { bench.PrintSpace(w) }

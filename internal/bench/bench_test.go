@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestMagicSessionTerminates(t *testing.T) {
 }
 
 func TestFig8Nvi(t *testing.T) {
-	res, err := Fig8("nvi", 1)
+	res, err := Fig8("nvi", 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig8Nvi(t *testing.T) {
 }
 
 func TestFig8Magic(t *testing.T) {
-	res, err := Fig8("magic", 1)
+	res, err := Fig8("magic", 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig8Magic(t *testing.T) {
 }
 
 func TestFig8Xpilot(t *testing.T) {
-	res, err := Fig8("xpilot", 1)
+	res, err := Fig8("xpilot", 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFig8Xpilot(t *testing.T) {
 }
 
 func TestFig8TreadMarks(t *testing.T) {
-	res, err := Fig8("treadmarks", 1)
+	res, err := Fig8("treadmarks", 1, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,13 +145,13 @@ func TestFig8TreadMarks(t *testing.T) {
 }
 
 func TestFig8UnknownApp(t *testing.T) {
-	if _, err := Fig8("word", 1); err == nil {
+	if _, err := Fig8("word", 1, 4); err == nil {
 		t.Error("unknown app must error")
 	}
 }
 
 func TestTable1Small(t *testing.T) {
-	res, err := Table1(3)
+	res, err := Table1(3, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestTable1Small(t *testing.T) {
 }
 
 func TestTable2Small(t *testing.T) {
-	res, err := Table2(2)
+	res, err := Table2(2, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,5 +186,21 @@ func TestPrintSpace(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Errorf("space print missing %s", name)
 		}
+	}
+}
+
+// TestFig8ParallelMatchesSerial pins the parallel sweep to the serial one:
+// same cells, same numbers, regardless of worker count.
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig8("nvi", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig8("nvi", 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel Fig8 diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"failtrans/internal/apps/nvi"
 	"failtrans/internal/apps/treadmarks"
 	"failtrans/internal/apps/xpilot"
+	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/faults"
 	"failtrans/internal/kernel"
@@ -178,23 +179,37 @@ func runOnce(app string, scale int, pol *protocol.Policy, medium stablestore.Med
 	return res, nil
 }
 
-// Fig8 runs the full protocol sweep for one application.
-func Fig8(app string, scale int) (*Fig8Result, error) {
-	base, err := runOnce(app, scale, nil, stablestore.Rio)
+// Fig8 runs the full protocol sweep for one application. The baseline and
+// the (protocol, medium) cells are independent simulations, so they fan
+// out over workers (0 or 1 = serial); every cell lands at a fixed slice
+// index, making the result identical to the serial sweep's.
+func Fig8(app string, scale, workers int) (*Fig8Result, error) {
+	measured := protocol.Measured()
+	cells := make([]onceResult, 1+2*len(measured))
+	err := campaign.Run(campaign.Config{Workers: workers, Phase: "fig8/" + app}, len(cells),
+		func(i int) (onceResult, error) {
+			if i == 0 {
+				return runOnce(app, scale, nil, stablestore.Rio) // unrecoverable baseline
+			}
+			pol := measured[(i-1)/2]
+			medium := stablestore.Rio
+			if (i-1)%2 == 1 {
+				medium = stablestore.Disk
+			}
+			return runOnce(app, scale, &pol, medium)
+		},
+		func(i int, r onceResult) bool {
+			cells[i] = r
+			return true
+		})
 	if err != nil {
 		return nil, err
 	}
+	base := cells[0]
 	res := &Fig8Result{App: app, Baseline: base.clock}
-	for i := range protocol.Measured() {
-		pol := protocol.Measured()[i]
-		rio, err := runOnce(app, scale, &pol, stablestore.Rio)
-		if err != nil {
-			return nil, err
-		}
-		disk, err := runOnce(app, scale, &pol, stablestore.Disk)
-		if err != nil {
-			return nil, err
-		}
+	for i := range measured {
+		pol := measured[i]
+		rio, disk := cells[1+2*i], cells[2+2*i]
 		row := Fig8Row{
 			Protocol:        pol.Name,
 			Checkpoints:     rio.ckpts,

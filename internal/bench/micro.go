@@ -164,8 +164,9 @@ func benchDCRollback(b *testing.B) {
 }
 
 // RunBench runs the commit microbenchmarks and the Figure 8 drivers and
-// assembles the combined report.
-func RunBench(scale int) (*BenchReport, error) {
+// assembles the combined report. workers parallelizes the Figure 8 cells
+// (the microbenchmarks always run alone, so their timings stay honest).
+func RunBench(scale, workers int) (*BenchReport, error) {
 	rep := &BenchReport{
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
@@ -179,7 +180,7 @@ func RunBench(scale int) (*BenchReport, error) {
 		runMicro("DCRollback", benchDCRollback),
 	}
 	for _, app := range Fig8Apps {
-		res, err := Fig8(app, scale)
+		res, err := Fig8(app, scale, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"failtrans/internal/faults"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 )
 
@@ -15,13 +16,18 @@ type Table1Result struct {
 }
 
 // Table1 runs the application fault-injection study. crashTarget ~50
-// reproduces the paper; smaller values run faster.
-func Table1(crashTarget int) (*Table1Result, error) {
+// reproduces the paper; smaller values run faster. workers fans injection
+// runs out over that many goroutines (0 or 1 = serial) with results
+// byte-identical to the serial loop; campObs, if non-nil, collects
+// per-worker campaign counters.
+func Table1(crashTarget, workers int, campObs *obs.CampaignMetrics) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewAppStudy(app)
 		s.CrashTarget = crashTarget
 		s.MaxRunsPerType = crashTarget * 12
+		s.Parallel = workers
+		s.CampaignObs = campObs
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err
@@ -77,13 +83,16 @@ type Table2Result struct {
 	Postgres []faults.OSTypeResult
 }
 
-// Table2 runs the OS fault-injection study.
-func Table2(crashTarget int) (*Table2Result, error) {
+// Table2 runs the OS fault-injection study; workers and campObs behave as
+// in Table1.
+func Table2(crashTarget, workers int, campObs *obs.CampaignMetrics) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewOSStudy(app)
 		s.CrashTarget = crashTarget
 		s.MaxRunsPerType = crashTarget * 12
+		s.Parallel = workers
+		s.CampaignObs = campObs
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err

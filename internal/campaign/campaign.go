@@ -1,0 +1,228 @@
+// Package campaign is the deterministic parallel executor behind the fault
+// studies and the Figure 8 sweep: it fans independent runs out across a
+// worker pool while producing results byte-identical to the serial loops it
+// replaces.
+//
+// The subtle requirement is early exit. The studies stop each fault type at
+// a run-order-dependent index (the run whose crash reaches CrashTarget), so
+// naive parallelism would accept whichever runs finish first and change the
+// aggregate. Run instead uses speculative execution with ordered
+// acceptance: a bounded window of runs is dispatched to workers in index
+// order, but results are accepted strictly in serial run order, and the
+// loop stops at exactly the run the serial loop would have stopped at.
+// Results computed beyond that point (the speculation overshoot) are
+// discarded. Provided each job is independent — it reads only its index and
+// immutable configuration, as the studies' fresh-world-per-run jobs do —
+// the accepted sequence is identical to the serial one.
+package campaign
+
+import (
+	"sync"
+	"time"
+
+	"failtrans/internal/obs"
+)
+
+// speculation sizes the dispatch window in multiples of the worker count: a
+// worker may run at most this many batches ahead of the acceptance
+// frontier. Larger values hide more scheduling jitter but waste more work
+// past an early exit.
+const speculation = 2
+
+// Config parameterizes one campaign phase.
+type Config struct {
+	// Workers is the pool size; values <= 1 run the serial loop directly.
+	Workers int
+	// Phase labels the progress span and debug output (e.g. "table1/nvi/HeapBitFlip").
+	Phase string
+	// Metrics, if non-nil, receives per-worker run counts and the
+	// dispatched/accepted/discarded totals.
+	Metrics *obs.CampaignMetrics
+	// Tracer, if non-nil, receives one campaign progress span per phase on
+	// Track, positioned by cumulative accepted-run count (deterministic,
+	// unlike wall time).
+	Tracer *obs.Tracer
+	Track  int
+}
+
+// result carries one speculative run's outcome back to the acceptor.
+type result[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// Run executes job(i) for i in [0, n) and feeds the results to accept
+// strictly in index order, stopping as soon as accept returns false. Its
+// observable behavior is exactly the serial loop
+//
+//	for i := 0; i < n; i++ {
+//		v, err := job(i)
+//		if err != nil {
+//			return err
+//		}
+//		if !accept(i, v) {
+//			break
+//		}
+//	}
+//
+// but with up to cfg.Workers jobs in flight. accept runs on the calling
+// goroutine and needs no locking. Jobs must be independent of one another;
+// jobs past the stopping point may or may not execute, and their results
+// are discarded.
+func Run[T any](cfg Config, n int, job func(i int) (T, error), accept func(i int, v T) bool) error {
+	m := cfg.Metrics
+	if m != nil {
+		m.Phases++
+	}
+	acceptedBefore := int64(0)
+	if m != nil {
+		acceptedBefore = m.Accepted
+	}
+	var err error
+	if cfg.Workers <= 1 || n <= 1 {
+		err = runSerial(cfg, n, job, accept)
+	} else {
+		err = runParallel(cfg, n, job, accept)
+	}
+	if t := cfg.Tracer; t != nil {
+		// Progress spans over a deterministic "accepted runs" timeline:
+		// this phase covers [acceptedBefore, accepted) in microseconds.
+		accepted := int64(0)
+		if m != nil {
+			accepted = m.Accepted - acceptedBefore
+		}
+		t.SpanArgs(cfg.Track, "campaign", cfg.Phase,
+			time.Duration(acceptedBefore)*time.Microsecond,
+			time.Duration(accepted)*time.Microsecond,
+			"phase", cfg.Phase, "accepted", accepted)
+	}
+	return err
+}
+
+// runSerial is the reference loop, with the same metrics accounting.
+func runSerial[T any](cfg Config, n int, job func(i int) (T, error), accept func(i int, v T) bool) error {
+	m := cfg.Metrics
+	for i := 0; i < n; i++ {
+		v, err := job(i)
+		if m != nil {
+			m.SerialRuns++
+			m.Dispatched++
+		}
+		if err != nil {
+			return err
+		}
+		if m != nil {
+			m.Accepted++
+		}
+		if !accept(i, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runParallel is the speculative pool. A feeder hands indexes to workers in
+// order, gated by a credit window so speculation stays bounded; the calling
+// goroutine accepts results in strict index order and, on early exit or
+// error, halts the feeder and drains (discarding) whatever was in flight.
+func runParallel[T any](cfg Config, n int, job func(i int) (T, error), accept func(i int, v T) bool) error {
+	m := cfg.Metrics
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	window := workers * speculation
+
+	var (
+		stopOnce sync.Once
+		stop     = make(chan struct{})
+		jobs     = make(chan int)
+		results  = make(chan result[T], window)
+		credits  = make(chan struct{}, window)
+	)
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Feeder: dispatch indexes in order, at most `window` past the
+	// acceptance frontier (each dispatch takes a credit; the acceptor
+	// returns one per result consumed).
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case <-stop:
+				return
+			case credits <- struct{}{}:
+			}
+			select {
+			case <-stop:
+				return
+			case jobs <- i:
+				if m != nil {
+					m.Dispatched++ // feeder is the sole writer
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := range jobs {
+				v, jerr := job(i)
+				if m != nil && k < len(m.Workers) {
+					m.Workers[k].Runs++ // each worker owns its slot
+				}
+				results <- result[T]{i: i, v: v, err: jerr}
+			}
+		}(k)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Acceptor: reorder buffer keyed by index, consumed at the frontier.
+	pending := make(map[int]result[T], window)
+	next := 0
+	stopped := false
+	var firstErr error
+	for r := range results {
+		<-credits
+		if stopped {
+			if m != nil {
+				m.Discarded++
+			}
+			continue
+		}
+		pending[r.i] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if q.err != nil {
+				firstErr = q.err
+				stopped = true
+				halt()
+				break
+			}
+			if m != nil {
+				m.Accepted++
+			}
+			if !accept(q.i, q.v) {
+				stopped = true
+				halt()
+				break
+			}
+		}
+	}
+	if m != nil {
+		m.Discarded += int64(len(pending))
+	}
+	return firstErr
+}

@@ -7,8 +7,10 @@ import (
 
 	"failtrans/internal/apps/nvi"
 	"failtrans/internal/apps/postgres"
+	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
@@ -94,6 +96,18 @@ type AppStudy struct {
 	// CheckBeforeCommit enables the paper's §2.6 mitigation: refuse
 	// commits that fail the application's consistency check.
 	CheckBeforeCommit bool
+	// Parallel fans injection runs out over this many workers; 0 or 1
+	// runs serially. Results are byte-identical either way: runs are
+	// dispatched speculatively but accepted strictly in serial run order,
+	// stopping at exactly the run the serial loop would have (see
+	// internal/campaign).
+	Parallel int
+	// CampaignObs, if non-nil, receives per-worker campaign counters.
+	CampaignObs *obs.CampaignMetrics
+	// CampaignTracer, if non-nil, receives one progress span per fault
+	// type on track CampaignTrack.
+	CampaignTracer *obs.Tracer
+	CampaignTrack  int
 }
 
 // NewAppStudy returns the paper's configuration for the given app.
@@ -239,7 +253,22 @@ func equalOutputs(a, b []string) bool {
 	return true
 }
 
-// Run executes the study for every fault type.
+// campaignConfig builds one fault type's executor configuration.
+func (s *AppStudy) campaignConfig(phase string) campaign.Config {
+	return campaign.Config{
+		Workers: s.Parallel,
+		Phase:   phase,
+		Metrics: s.CampaignObs,
+		Tracer:  s.CampaignTracer,
+		Track:   s.CampaignTrack,
+	}
+}
+
+// Run executes the study for every fault type. Injection runs within a
+// fault type fan out over s.Parallel workers; because each run builds a
+// fresh world from (kind, injSeed) alone and results are accepted in
+// serial run order with the same early exit, the aggregate is
+// byte-identical to the serial loop's.
 func (s *AppStudy) Run() ([]TypeResult, error) {
 	var out []TypeResult
 	clean, err := s.cleanOutputs(s.Seed)
@@ -247,24 +276,29 @@ func (s *AppStudy) Run() ([]TypeResult, error) {
 		return nil, err
 	}
 	for _, kind := range AppFaultTypes {
+		kind := kind
 		tr := TypeResult{Kind: kind}
-		for run := 0; run < s.MaxRunsPerType && tr.Crashes < s.CrashTarget; run++ {
-			// The workload session is fixed by the study seed; only
-			// the injection point varies.
-			res, err := s.RunOne(kind, s.Seed*100000+int64(run), clean)
-			if err != nil {
-				return nil, err
-			}
-			tr.Runs++
-			if res.WrongOutput {
-				tr.WrongOutput++
-			}
-			if res.Crashed {
-				tr.Crashes++
-				if res.Violation {
-					tr.Violations++
+		err := campaign.Run(s.campaignConfig("table1/"+s.App+"/"+kind.String()), s.MaxRunsPerType,
+			func(run int) (RunResult, error) {
+				// The workload session is fixed by the study seed; only
+				// the injection point varies.
+				return s.RunOne(kind, s.Seed*100000+int64(run), clean)
+			},
+			func(run int, res RunResult) bool {
+				tr.Runs++
+				if res.WrongOutput {
+					tr.WrongOutput++
 				}
-			}
+				if res.Crashed {
+					tr.Crashes++
+					if res.Violation {
+						tr.Violations++
+					}
+				}
+				return tr.Crashes < s.CrashTarget
+			})
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, tr)
 	}

@@ -1,9 +1,12 @@
 package faults
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
+	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/kernel"
 	"failtrans/internal/sim"
@@ -56,7 +59,9 @@ func (t OSTypeResult) FailurePct() float64 {
 // and measure how often the application fails to recover.
 type OSStudy struct {
 	*AppStudy
-	cleanDur time.Duration
+	cleanOnce sync.Once
+	cleanDur  time.Duration
+	cleanErr  error
 }
 
 // NewOSStudy returns the paper's configuration for the given app.
@@ -117,8 +122,12 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 	}
 
 	// Estimate run length, then inject at a random fraction of it.
+	cleanDur, err := o.cleanDuration()
+	if err != nil {
+		return false, false, false, err
+	}
 	r := rand.New(rand.NewSource(injSeed))
-	injectAt := time.Duration(float64(o.cleanDuration()) * (0.05 + 0.9*r.Float64()))
+	injectAt := time.Duration(float64(cleanDur) * (0.05 + 0.9*r.Float64()))
 	window := osFaultWindow[kind]
 	injected := false
 	for {
@@ -140,43 +149,63 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.firedAt > 0, nil
 }
 
-// cleanDuration measures the fault-free run's virtual duration (cached).
-func (o *OSStudy) cleanDuration() time.Duration {
-	if o.cleanDur != 0 {
-		return o.cleanDur
-	}
-	w, err := o.buildWorld(o.Seed)
-	if err != nil {
-		return time.Second
-	}
-	w.RecordTrace = false
-	if err := w.Run(); err != nil {
-		return time.Second
-	}
-	o.cleanDur = w.Clock
-	return o.cleanDur
+// cleanDuration measures the fault-free run's virtual duration, once. A
+// build or run failure is propagated instead of silently substituting a
+// placeholder duration (which would skew every injection point and thus
+// FailurePct). sync.Once makes the cache safe for parallel RunOne calls.
+func (o *OSStudy) cleanDuration() (time.Duration, error) {
+	o.cleanOnce.Do(func() {
+		w, err := o.buildWorld(o.Seed)
+		if err != nil {
+			o.cleanErr = fmt.Errorf("faults: clean-duration build: %w", err)
+			return
+		}
+		w.RecordTrace = false
+		if err := w.Run(); err != nil {
+			o.cleanErr = fmt.Errorf("faults: clean-duration run: %w", err)
+			return
+		}
+		o.cleanDur = w.Clock
+	})
+	return o.cleanDur, o.cleanErr
 }
 
-// Run executes the OS study for every fault type.
+// Run executes the OS study for every fault type, fanning injection runs
+// out over o.Parallel workers with the same ordered-acceptance guarantee
+// as AppStudy.Run.
 func (o *OSStudy) Run() ([]OSTypeResult, error) {
+	// Measure the clean duration before spawning workers so the first
+	// parallel batch doesn't serialize behind the sync.Once anyway.
+	if _, err := o.cleanDuration(); err != nil {
+		return nil, err
+	}
 	var out []OSTypeResult
 	for _, kind := range AppFaultTypes {
+		kind := kind
 		tr := OSTypeResult{Kind: kind}
-		for run := 0; run < o.MaxRunsPerType && tr.Crashes < o.CrashTarget; run++ {
-			crashed, recovered, propagated, err := o.RunOne(kind, o.Seed*77777+int64(run))
-			if err != nil {
-				return nil, err
-			}
-			tr.Runs++
-			if propagated {
-				tr.Propagations++
-			}
-			if crashed {
-				tr.Crashes++
-				if !recovered {
-					tr.FailedRecoveries++
+		type osRun struct {
+			crashed, recovered, propagated bool
+		}
+		err := campaign.Run(o.campaignConfig("table2/"+o.App+"/"+kind.String()), o.MaxRunsPerType,
+			func(run int) (osRun, error) {
+				crashed, recovered, propagated, err := o.RunOne(kind, o.Seed*77777+int64(run))
+				return osRun{crashed, recovered, propagated}, err
+			},
+			func(run int, r osRun) bool {
+				tr.Runs++
+				if r.propagated {
+					tr.Propagations++
 				}
-			}
+				if r.crashed {
+					tr.Crashes++
+					if !r.recovered {
+						tr.FailedRecoveries++
+					}
+				}
+				return tr.Crashes < o.CrashTarget
+			})
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, tr)
 	}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// CampaignWorkerMetrics is one campaign worker's fixed-slot counter block.
+// Each slot is written only by its own worker goroutine while the campaign
+// runs and read only after the pool has drained, so plain increments are
+// race-free.
+type CampaignWorkerMetrics struct {
+	// Runs counts the jobs this worker executed, whether their results
+	// were later accepted or discarded as speculative overshoot.
+	Runs int64
+}
+
+// CampaignMetrics accounts a campaign executor's work: how many runs were
+// dispatched speculatively, how many were accepted in serial order, and how
+// many were overshoot past the early-exit point the equivalent serial loop
+// would have stopped at. The per-worker distribution depends on goroutine
+// scheduling and is diagnostic only; the accepted totals are deterministic.
+type CampaignMetrics struct {
+	Workers []CampaignWorkerMetrics
+
+	// Phases counts ordered-acceptance loops executed (one per fault kind
+	// in a study, one per application in a Figure 8 sweep).
+	Phases int64
+	// Dispatched counts runs handed to workers; Accepted counts results
+	// consumed in serial run order; Discarded counts speculative overshoot
+	// thrown away after an early exit.
+	Dispatched int64
+	Accepted   int64
+	Discarded  int64
+	// SerialRuns counts runs executed on the serial (single-worker) path.
+	SerialRuns int64
+}
+
+// NewCampaignMetrics returns a registry with one preallocated slot per
+// worker.
+func NewCampaignMetrics(workers int) *CampaignMetrics {
+	if workers < 1 {
+		workers = 1
+	}
+	return &CampaignMetrics{Workers: make([]CampaignWorkerMetrics, workers)}
+}
+
+// WriteSummary writes a human-readable summary block.
+func (c *CampaignMetrics) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "campaign phases=%d dispatched=%d accepted=%d discarded=%d serial=%d\n",
+		c.Phases, c.Dispatched, c.Accepted, c.Discarded, c.SerialRuns)
+	if err != nil {
+		return err
+	}
+	for i := range c.Workers {
+		if _, err := fmt.Fprintf(w, "  worker %d runs=%d\n", i, c.Workers[i].Runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

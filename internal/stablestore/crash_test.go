@@ -1,0 +1,308 @@
+package stablestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// flakyFile wraps the store's log file, failing the Nth Write (optionally
+// after letting a prefix of the buffer through — a torn write) or the Nth
+// Sync or Truncate, like a disk dying mid-append.
+type flakyFile struct {
+	logFile
+	writeCalls int
+	failWrite  int // fail the k'th Write (1-based); 0 = never
+	partial    int // bytes of the failing Write that still hit the file
+	syncCalls  int
+	failSync   int // fail the k'th Sync (1-based); 0 = never
+	failTrunc  bool
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.writeCalls++
+	if f.failWrite != 0 && f.writeCalls == f.failWrite {
+		n := f.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			f.logFile.Write(p[:n])
+		}
+		return n, errInjected
+	}
+	return f.logFile.Write(p)
+}
+
+func (f *flakyFile) Sync() error {
+	f.syncCalls++
+	if f.failSync != 0 && f.syncCalls == f.failSync {
+		return errInjected
+	}
+	return f.logFile.Sync()
+}
+
+func (f *flakyFile) Truncate(size int64) error {
+	if f.failTrunc {
+		return errInjected
+	}
+	return f.logFile.Truncate(size)
+}
+
+// encodeRecord builds one on-disk record, for crash-point sweeps.
+func encodeRecord(key string, val []byte) []byte {
+	body := append([]byte(key), val...)
+	rec := make([]byte, 16+len(body))
+	binary.LittleEndian.PutUint32(rec[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(val)))
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(body))
+	copy(rec[16:], body)
+	return rec
+}
+
+// TestTornHeaderAppendDoesNotLoseLaterPut is the headline regression: a
+// failed append that leaves partial header bytes in the log must not cause
+// the NEXT successful Put to be appended after garbage and silently
+// discarded by replay on reopen.
+func TestTornHeaderAppendDoesNotLoseLaterPut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	ff := &flakyFile{logFile: s.f, failWrite: 1, partial: 7} // 7 torn header bytes
+	s.f = ff
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("Put over a failing write must error")
+	}
+	ff.failWrite = 0
+	if err := s.Put("c", []byte("gamma")); err != nil {
+		t.Fatalf("Put after a rolled-back torn append: %v", err)
+	}
+	s.Close()
+
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("a"); !ok || string(v) != "alpha" {
+		t.Errorf("committed a lost: %q %v", v, ok)
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Error("failed Put(b) must not be durable")
+	}
+	if v, ok := s2.Get("c"); !ok || string(v) != "gamma" {
+		t.Errorf("committed Put(c) after the torn append was silently discarded: %q %v", v, ok)
+	}
+}
+
+// TestTornBodyAppend is the same defect with the failure mid-body.
+func TestTornBodyAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("alpha"))
+	ff := &flakyFile{logFile: s.f, failWrite: 2, partial: 3} // header ok, body torn
+	s.f = ff
+	if err := s.Put("b", []byte("beta-long-value")); err == nil {
+		t.Fatal("want error")
+	}
+	ff.failWrite = 0
+	if err := s.Put("c", []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"a": "alpha", "c": "gamma"} {
+		if v, ok := s2.Get(k); !ok || string(v) != want {
+			t.Errorf("Get(%s) = %q %v, want %q", k, v, ok, want)
+		}
+	}
+}
+
+// TestSyncFailureRollsBack: the record's bytes were fully written but the
+// fsync failed, so durability is unknown; the append must be rolled back
+// and later committed Puts must survive a reopen.
+func TestSyncFailureRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("alpha"))
+	ff := &flakyFile{logFile: s.f, failSync: 1}
+	s.f = ff
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("Put over a failing sync must error")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("failed Put(b) must not appear in the index")
+	}
+	if err := s.Put("c", []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("b"); ok {
+		t.Error("b must not be durable")
+	}
+	if v, ok := s2.Get("c"); !ok || string(v) != "gamma" {
+		t.Errorf("c lost after sync-failure rollback: %q %v", v, ok)
+	}
+}
+
+// TestUnrollbackableAppendRefusesWrites: when both the append and the
+// rollback truncation fail, the store must fail closed — refusing further
+// appends instead of risking interior corruption — and a Compact must
+// restore write availability from the in-memory index.
+func TestUnrollbackableAppendRefusesWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("alpha"))
+	ff := &flakyFile{logFile: s.f, failWrite: 1, partial: 5, failTrunc: true}
+	s.f = ff
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("want append error")
+	}
+	if err := s.Put("c", []byte("gamma")); err == nil {
+		t.Fatal("store must refuse appends after an unrollbackable failure")
+	}
+	// Reads still work from the index.
+	if v, ok := s.Get("a"); !ok || string(v) != "alpha" {
+		t.Errorf("Get(a) = %q %v", v, ok)
+	}
+	// Compact rewrites the log from the index and clears the condition.
+	ff.failTrunc = false
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact as recovery: %v", err)
+	}
+	if err := s.Put("c", []byte("gamma")); err != nil {
+		t.Fatalf("Put after recovery compact: %v", err)
+	}
+	s.Close()
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"a": "alpha", "c": "gamma"} {
+		if v, ok := s2.Get(k); !ok || string(v) != want {
+			t.Errorf("Get(%s) = %q %v, want %q", k, v, ok, want)
+		}
+	}
+}
+
+// TestCrashAtEveryByteOfAppend simulates a process crash after N bytes of
+// an in-flight append reached the disk, for every N: on reopen, the
+// committed prefix must be intact, the torn tail truncated cleanly, and
+// the store writable with the new record surviving a further reopen.
+func TestCrashAtEveryByteOfAppend(t *testing.T) {
+	rec := encodeRecord("torn-key", []byte("torn-value-payload"))
+	for n := 1; n < len(rec); n++ {
+		path := filepath.Join(t.TempDir(), "store.log")
+		s, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("base", []byte("committed")); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		good, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash: the first n bytes of the next record hit the disk, the
+		// process died before the rest.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(rec[:n])
+		f.Close()
+
+		s2, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("n=%d: reopen: %v", n, err)
+		}
+		if v, ok := s2.Get("base"); !ok || string(v) != "committed" {
+			t.Fatalf("n=%d: committed record lost: %q %v", n, v, ok)
+		}
+		if _, ok := s2.Get("torn-key"); ok {
+			t.Fatalf("n=%d: torn record must not surface", n)
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() != good.Size() {
+			t.Fatalf("n=%d: torn tail not truncated: size %d, want %d", n, st.Size(), good.Size())
+		}
+		if err := s2.Put("next", []byte("after-crash")); err != nil {
+			t.Fatalf("n=%d: Put after recovery: %v", n, err)
+		}
+		s2.Close()
+		s3, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s3.Get("next"); !ok || string(v) != "after-crash" {
+			t.Fatalf("n=%d: post-recovery Put lost: %q %v", n, v, ok)
+		}
+		s3.Close()
+	}
+}
+
+// TestFailedDeleteRollsBack exercises the rollback path through Delete.
+func TestFailedDeleteRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("alpha"))
+	ff := &flakyFile{logFile: s.f, failWrite: 1, partial: 9}
+	s.f = ff
+	if err := s.Delete("a"); err == nil {
+		t.Fatal("want delete error")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Error("failed delete must leave the key in the index")
+	}
+	ff.failWrite = 0
+	if err := s.Put("b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("a"); !ok {
+		t.Error("a must survive the failed delete")
+	}
+	if _, ok := s2.Get("b"); !ok {
+		t.Error("b lost after rolled-back delete")
+	}
+}

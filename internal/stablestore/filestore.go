@@ -27,10 +27,30 @@ import (
 //	val     [valLen]byte
 type FileStore struct {
 	path string
-	f    *os.File
+	f    logFile
+	// size is the offset just past the last durably appended record: the
+	// log's last-good length. A failed append truncates back to it, so
+	// torn bytes can never sit in the log interior beneath a later
+	// successful record (replay stops at the first bad record, silently
+	// discarding everything after it).
+	size int64
+	// broken, once set, refuses further appends: a failed append could
+	// not be rolled back, so the on-disk tail state is unknown. A
+	// successful Compact rewrites the log from the in-memory index and
+	// clears it.
+	broken error
 	// index maps keys to current values; the log is the truth, the map
 	// is a cache rebuilt on open.
 	index map[string][]byte
+}
+
+// logFile is the slice of *os.File the store uses; crash-injection tests
+// substitute a fault-injecting wrapper.
+type logFile interface {
+	io.ReadWriteSeeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
 }
 
 const (
@@ -67,6 +87,7 @@ func OpenFile(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("stablestore: %w", err)
 	}
+	s.size = valid
 	return s, nil
 }
 
@@ -116,8 +137,13 @@ func (s *FileStore) replay() (int64, error) {
 	}
 }
 
-// appendRecord writes and syncs one record.
+// appendRecord writes and syncs one record. On any failure it rolls the
+// log back to the last-good offset so the partial bytes cannot become
+// interior garbage under a later successful append.
 func (s *FileStore) appendRecord(key string, val []byte, del bool) error {
+	if s.broken != nil {
+		return s.broken
+	}
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(key)))
@@ -133,15 +159,40 @@ func (s *FileStore) appendRecord(key string, val []byte, del bool) error {
 	}
 	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(body))
 	if _, err := s.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("stablestore: %w", err)
+		return s.failAppend(err)
 	}
 	if _, err := s.f.Write(body); err != nil {
-		return fmt.Errorf("stablestore: %w", err)
+		return s.failAppend(err)
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("stablestore: %w", err)
+		return s.failAppend(err)
 	}
+	s.size += int64(len(hdr)) + int64(len(body))
 	return nil
+}
+
+// failAppend handles a torn append: truncate back to the last durable
+// record boundary and reposition the write offset there. If the rollback
+// itself fails, the tail state on disk is unknown and the store refuses
+// all further appends (reads still serve the in-memory index; a Compact
+// rewrites the log and restores write availability).
+func (s *FileStore) failAppend(cause error) error {
+	if terr := s.truncateToLastGood(); terr != nil {
+		s.broken = fmt.Errorf("stablestore: append failed (%v), rollback to offset %d failed (%v): refusing further appends", cause, s.size, terr)
+	}
+	return fmt.Errorf("stablestore: %w", cause)
+}
+
+// truncateToLastGood discards any partially written tail and makes the
+// truncation durable.
+func (s *FileStore) truncateToLastGood() error {
+	if err := s.f.Truncate(s.size); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		return err
+	}
+	return s.f.Sync()
 }
 
 // Put durably records key=val.
@@ -185,37 +236,58 @@ func (s *FileStore) Keys() []string {
 }
 
 // Compact rewrites the log to contain only live records, atomically
-// replacing the old file.
+// replacing the old file. A successful compaction also clears the
+// refusing-appends state a failed, unrollbackable append leaves behind:
+// the fresh log is rebuilt entirely from the in-memory index.
 func (s *FileStore) Compact() error {
 	tmp := s.path + ".compact"
 	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("stablestore: %w", err)
 	}
-	old := s.f
-	s.f = nf
+	old, oldSize, oldBroken := s.f, s.size, s.broken
+	s.f, s.size, s.broken = nf, 0, nil
+	restore := func() {
+		s.f, s.size, s.broken = old, oldSize, oldBroken
+		nf.Close()
+		os.Remove(tmp)
+	}
 	for _, k := range s.Keys() {
 		if err := s.appendRecord(k, s.index[k], false); err != nil {
-			s.f = old
-			nf.Close()
-			os.Remove(tmp)
+			restore()
 			return err
 		}
 	}
 	if err := nf.Sync(); err != nil {
-		s.f = old
-		nf.Close()
-		os.Remove(tmp)
+		restore()
 		return fmt.Errorf("stablestore: %w", err)
 	}
 	if err := os.Rename(tmp, s.path); err != nil {
-		s.f = old
-		nf.Close()
-		os.Remove(tmp)
+		restore()
 		return fmt.Errorf("stablestore: %w", err)
 	}
+	// The rename is not durable until the directory entry is: without a
+	// parent-directory fsync a crash can lose the rename entirely or
+	// resurrect the old (longer) log.
+	err = syncDir(filepath.Dir(s.path))
 	old.Close()
+	if err != nil {
+		return fmt.Errorf("stablestore: sync directory after compact: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a renamed entry inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close releases the underlying file.
