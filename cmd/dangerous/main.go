@@ -144,7 +144,7 @@ func report(m *statemachine.Machine) {
 			fail(err)
 		}
 		if err := c.WriteDot(f, "dangerous"); err != nil {
-			f.Close()
+			f.Close() //failtrans:errok best-effort cleanup; the export error being reported is the primary failure
 			fail(err)
 		}
 		if err := f.Close(); err != nil {

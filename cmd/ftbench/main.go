@@ -59,7 +59,9 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: -cpuprofile: close: %v\n", err)
+			}
 		}()
 	}
 	if *memprofile != "" {
@@ -69,10 +71,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "ftbench: -memprofile: %v\n", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // report the retained live set, not transient garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "ftbench: -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: -memprofile: close: %v\n", err)
 			}
 		}()
 	}
@@ -91,7 +95,7 @@ func main() {
 				os.Exit(1)
 			}
 			if err := rep.WriteJSON(f); err != nil {
-				f.Close()
+				f.Close() //failtrans:errok best-effort cleanup; the write error being reported is the primary failure
 				fmt.Fprintf(os.Stderr, "ftbench: bench: %v\n", err)
 				os.Exit(1)
 			}

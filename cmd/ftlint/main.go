@@ -1,0 +1,60 @@
+// Command ftlint runs the failtrans invariant checkers over the module:
+//
+//	go run ./cmd/ftlint ./...
+//
+// Three passes (see internal/analysis/<pass> for the full rules):
+//
+//	detlint       no wall clock, global math/rand, or map-ordered output in
+//	              the deterministic core
+//	hotpathcheck  no allocation sites reachable from //failtrans:hotpath
+//	              commit entry points
+//	durability    no discarded errors from Sync/Truncate/Seek/Rename,
+//	              write-path Close, or the stable-storage APIs
+//
+// ftlint exits 0 when the tree is clean, 1 when it has findings, 2 on
+// usage or load errors. Suppressions (//failtrans:nondet, //failtrans:alloc,
+// //failtrans:errok) require a written reason; a reasonless or misspelled
+// directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"failtrans/internal/analysis"
+	"failtrans/internal/analysis/ftlint"
+)
+
+func main() {
+	var detpkg string
+	flag.StringVar(&detpkg, "detpkg", "",
+		"comma-separated extra import paths to add to detlint's deterministic core")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ftlint [-detpkg pkgs] [patterns]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range ftlint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	var extra []string
+	if detpkg != "" {
+		extra = strings.Split(detpkg, ",")
+	}
+	res, err := ftlint.Run(".", flag.Args(), extra...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(analysis.FormatDiag(res.Fset, d))
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(res.Diags))
+		os.Exit(1)
+	}
+}

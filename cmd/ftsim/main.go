@@ -200,7 +200,7 @@ func main() {
 			fail(err)
 		}
 		if err := trace.Save(f, w.Trace); err != nil {
-			f.Close()
+			f.Close() //failtrans:errok best-effort cleanup; the save error being reported is the primary failure
 			fail(err)
 		}
 		if err := f.Close(); err != nil {
@@ -214,7 +214,7 @@ func main() {
 			fail(err)
 		}
 		if err := w.Tracer.WriteJSON(f); err != nil {
-			f.Close()
+			f.Close() //failtrans:errok best-effort cleanup; the export error being reported is the primary failure
 			fail(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,3 +1,11 @@
 module failtrans
 
 go 1.22
+
+// Dependency pin note: the static-analysis suite (internal/analysis,
+// cmd/ftlint) deliberately mirrors the golang.org/x/tools/go/analysis
+// API (as of x/tools v0.24.0 — Analyzer/Pass/Diagnostic, object facts,
+// analysistest want-comments) on the standard library alone
+// (go/parser + go/types + go/importer), so the module keeps zero
+// external requirements and builds offline. If x/tools is ever vendored,
+// pin it here and the passes can be ported to the real driver verbatim.

@@ -1,0 +1,120 @@
+// Package analysistest runs analyzers over golden source fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: a fixture is a
+// GOPATH-src-shaped tree (testdata/src/<importpath>/...) whose files carry
+// `// want "regexp"` comments on the lines where diagnostics are expected.
+// Every reported diagnostic must match a want on its line and every want
+// must be matched, so the fixtures double as documentation of exactly what
+// each pass catches — and, via suppressed lines with no want, what it lets
+// through.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"failtrans/internal/analysis"
+)
+
+// wantRe matches the payload of one expectation: a double-quoted or
+// backquoted regular expression.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Load runs the analyzer over the given import paths from srcRoot (a
+// directory laid out like GOPATH/src) and returns the raw result, for
+// tests that assert on diagnostics directly instead of via want comments.
+func Load(t *testing.T, srcRoot string, a *analysis.Analyzer, patterns ...string) *analysis.Result {
+	t.Helper()
+	res, err := analysis.Run(analysis.Config{Dir: srcRoot, Patterns: patterns},
+		[]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return res
+}
+
+// Run loads the given import paths from srcRoot (a directory laid out like
+// GOPATH/src) with the analyzer and checks the diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	res := Load(t, srcRoot, a, patterns...)
+
+	var wants []*want
+	for _, pkg := range res.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, res, c)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diags {
+		pos := res.Fset.Position(d.Pos)
+		if !matchWant(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, res *analysis.Result, c *ast.Comment) []*want {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 {
+		return nil
+	}
+	pos := res.Fset.Position(c.Pos())
+	var out []*want
+	for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+		raw := m[1]
+		if m[2] != "" {
+			raw = m[2]
+		} else if m[1] != "" {
+			// Double-quoted form: unescape \" and \\.
+			raw = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(m[1])
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no quoted regexp", pos)
+	}
+	return out
+}
+
+func matchWant(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	// Allow several diagnostics on one line to share a single want (e.g.
+	// a fmt call that also boxes its arguments).
+	for _, w := range wants {
+		if w.file == file && w.line == line && w.re.MatchString(msg) {
+			return true
+		}
+	}
+	return false
+}

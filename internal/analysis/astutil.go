@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the statically-known function or method a call
+// invokes, or nil for calls through function values, builtins, and type
+// conversions. Calls through interface methods resolve to the interface's
+// *types.Func (which has no analyzable body).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ExprObject resolves the object an expression names: the variable of an
+// identifier, or the field/method of the final selector component. It
+// returns nil for compound expressions (calls, indexes, literals).
+func ExprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == types.Universe.Lookup("error")
+}

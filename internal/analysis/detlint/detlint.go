@@ -1,0 +1,169 @@
+// Package detlint forbids nondeterminism sources inside the simulator's
+// deterministic core. The whole evaluation method rests on runs being
+// deterministic state-machine replays — the campaign runner's serial/parallel
+// equivalence and the trace exporter's byte-identical contract both diff
+// outputs across executions — so any wall-clock read, globally-seeded RNG
+// draw, or map-iteration-ordered output silently breaks the experiments'
+// credibility even when every test still passes.
+//
+// Three rules, checked only in the configured deterministic-core packages:
+//
+//  1. No wall clock: calls to time.Now, time.Since, or time.Until. The
+//     simulator owns a virtual clock; wall-clock reads diverge run to run.
+//  2. No global math/rand: calls to math/rand (or math/rand/v2)
+//     package-level functions, whose shared RNG is seeded per process.
+//     Deterministic locals built with rand.New(rand.NewSource(seed)) are
+//     the sanctioned pattern and are not flagged.
+//  3. No map-ordered output: a `range` statement over a map whose body
+//     writes to an output sink (fmt formatting, io.WriteString, a Write/
+//     WriteString/Encode method, encoding/json) emits bytes in Go's
+//     randomized map order. Collect and sort the keys first (see
+//     sim.Proc.AppendCheckpointImage for the idiom).
+//
+// A finding is silenced by `//failtrans:nondet <reason>` on the same line
+// or the line above; the reason is mandatory.
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"failtrans/internal/analysis"
+)
+
+// New returns the detlint analyzer restricted to the given package paths
+// (each matches itself and its subpackages).
+func New(restricted ...string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:        "detlint",
+		Doc:         "forbid wall-clock, global-RNG and map-ordered-output nondeterminism in the deterministic core",
+		SuppressTag: analysis.TagNondet,
+		Run: func(pass *analysis.Pass) error {
+			run(pass, restricted)
+			return nil
+		},
+	}
+}
+
+func restrictedPkg(path string, restricted []string) bool {
+	for _, r := range restricted {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass, restricted []string) {
+	if !restrictedPkg(pass.Pkg.Path, restricted) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, info, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// allowedRandFuncs are the math/rand package-level functions that build
+// explicitly-seeded deterministic generators rather than drawing from the
+// shared one.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, (time.Time).Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"call to time.%s reads the wall clock; the deterministic core must use the simulator's virtual clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to global %s.%s draws from the shared nondeterministically-seeded RNG; use a local rand.New(rand.NewSource(seed))", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `range` over a map whose body writes to an output
+// sink: the emitted byte order then depends on Go's randomized map
+// iteration.
+func checkMapRange(pass *analysis.Pass, info *types.Info, rng *ast.RangeStmt) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sink := sinkName(info, call); sink != "" {
+			pass.Reportf(rng.Pos(),
+				"range over map feeds output through %s in nondeterministic iteration order; collect and sort the keys first", sink)
+			return false
+		}
+		return true
+	})
+}
+
+// sinkMethods are method names that emit bytes into an output stream.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true,
+}
+
+// sinkName classifies a call as an output sink, returning a printable name
+// ("" when it is not one).
+func sinkName(info *types.Info, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	if sig.Recv() == nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Sprint") ||
+				strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Append") {
+				return "fmt." + fn.Name()
+			}
+		case "io":
+			if fn.Name() == "WriteString" || fn.Name() == "Copy" {
+				return "io." + fn.Name()
+			}
+		case "encoding/json":
+			return "json." + fn.Name()
+		}
+		return ""
+	}
+	if sinkMethods[fn.Name()] {
+		return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+	}
+	return ""
+}

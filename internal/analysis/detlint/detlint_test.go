@@ -1,0 +1,35 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"failtrans/internal/analysis/analysistest"
+	"failtrans/internal/analysis/detlint"
+)
+
+// TestDetlint runs the pass over its golden fixture, which exercises all
+// three rules (wall clock, global RNG, map-ordered output), the sanctioned
+// patterns that must stay silent, and a reasoned suppression.
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", detlint.New("detcore"), "detcore")
+}
+
+// TestDetlintIgnoresUnrestrictedPackages proves the pass only fires inside
+// the configured deterministic core: the same fixture, analyzed with a
+// restriction list that does not include it, reports nothing — so the want
+// comments would all fail to match and the run must be executed without
+// them being honored. We express that by restricting to a non-existent
+// package and asserting no diagnostics survive.
+func TestDetlintIgnoresUnrestrictedPackages(t *testing.T) {
+	a := detlint.New("someother/pkg")
+	// The fixture still has `want` comments; running the restricted
+	// analyzer must produce zero diagnostics, so we bypass the want
+	// matcher and drive the driver directly.
+	res := analysistest.Load(t, "testdata/src", a, "detcore")
+	for _, d := range res.Diags {
+		if d.Analyzer == "detlint" {
+			t.Errorf("unexpected finding outside the deterministic core: %s",
+				res.Fset.Position(d.Pos))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package detcore is the detlint golden fixture: the test registers it as
+// a deterministic-core package, so the wall-clock, global-RNG, and
+// map-ordered-output rules all apply here.
+package detcore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Clock demonstrates rule 1: no wall-clock reads.
+func Clock() time.Duration {
+	t0 := time.Now()  // want `call to time.Now reads the wall clock`
+	d := time.Since(t0) // want `call to time.Since reads the wall clock`
+	var virtual time.Duration
+	virtual += 5 * time.Millisecond // arithmetic on durations is fine
+	return d + virtual
+}
+
+// Roll demonstrates rule 2: no draws from the global math/rand generator.
+func Roll(seed int64) int {
+	if rand.Intn(6) == 0 { // want `call to global rand.Intn draws from the shared nondeterministically-seeded RNG`
+		return 0
+	}
+	r := rand.New(rand.NewSource(seed)) // the sanctioned seeded-local pattern
+	return r.Intn(6)
+}
+
+// Dump demonstrates rule 3: map iteration order must not reach output.
+func Dump(m map[string]int) {
+	for k, v := range m { // want `range over map feeds output through fmt.Fprintf`
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+	// The sorted-keys idiom: the collection loop has no sink, the output
+	// loop ranges over a slice.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Tally shows that ranging over a map without emitting output is fine:
+// commutative aggregation does not observe iteration order.
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressed shows the opt-out: a reasoned //failtrans:nondet silences the
+// finding on the next line.
+func Suppressed() time.Time {
+	//failtrans:nondet fixture: proves a reasoned suppression silences the wall-clock rule
+	return time.Now()
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive tags understood by the toolchain. Like go:build directives,
+// failtrans directives are written with no space after the comment marker:
+//
+//	//failtrans:nondet <reason>   silence a detlint finding
+//	//failtrans:alloc <reason>    silence a hotpathcheck finding (and stop
+//	                              hot-path propagation through a call on
+//	                              that line)
+//	//failtrans:errok <reason>    silence a durability finding
+//	//failtrans:hotpath           mark a function as a zero-allocation
+//	                              hot-path root (in its doc comment)
+//
+// The three suppression tags REQUIRE a human-readable reason; the driver
+// reports a directive-level diagnostic when one is missing, so CI cannot
+// go green with an unexplained suppression. A trailing suppression (code
+// before it on the line) applies to findings on its own line; a standalone
+// comment line applies to the line directly below it.
+const (
+	TagNondet  = "nondet"
+	TagAlloc   = "alloc"
+	TagErrok   = "errok"
+	TagHotpath = "hotpath"
+)
+
+const directivePrefix = "//failtrans:"
+
+// A Directive is one parsed //failtrans: comment.
+type Directive struct {
+	Pos    token.Pos
+	Tag    string
+	Reason string
+}
+
+// parseDirective extracts a failtrans directive from one comment, if
+// present.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	tag, reason, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Tag: strings.TrimSpace(tag), Reason: strings.TrimSpace(reason)}, true
+}
+
+// HotpathAnnotated reports whether a function's doc comment carries the
+// //failtrans:hotpath root annotation.
+func HotpathAnnotated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Tag == TagHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveIndex records, per file and line, the suppression tags in
+// force.
+type directiveIndex struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> tags suppressed there.
+	byLine map[string]map[int][]string
+	// all collects every directive for validation.
+	all []Directive
+}
+
+func newDirectiveIndex(fset *token.FileSet) *directiveIndex {
+	return &directiveIndex{fset: fset, byLine: make(map[string]map[int][]string)}
+}
+
+// addFile indexes every failtrans directive of one parsed file. A trailing
+// directive (code precedes it on the line) suppresses its own line only; a
+// standalone comment line suppresses the line below it.
+func (ix *directiveIndex) addFile(f *ast.File) {
+	// occupied records, per line, the leftmost column holding a
+	// non-comment token, to tell trailing directives from standalone ones.
+	occupied := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		pos := ix.fset.Position(n.Pos())
+		if c, ok := occupied[pos.Line]; !ok || pos.Column < c {
+			occupied[pos.Line] = pos.Column
+		}
+		return true
+	})
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			ix.all = append(ix.all, d)
+			pos := ix.fset.Position(d.Pos)
+			lines := ix.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]string)
+				ix.byLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], d.Tag)
+			if col, ok := occupied[pos.Line]; !ok || pos.Column < col {
+				lines[pos.Line+1] = append(lines[pos.Line+1], d.Tag)
+			}
+		}
+	}
+}
+
+// suppressed reports whether tag is in force at pos.
+func (ix *directiveIndex) suppressed(pos token.Pos, tag string) bool {
+	if tag == "" || !pos.IsValid() {
+		return false
+	}
+	p := ix.fset.Position(pos)
+	for _, t := range ix.byLine[p.Filename][p.Line] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// validate reports malformed directives: unknown tags (typos would
+// otherwise silently suppress nothing) and suppressions without a reason.
+func (ix *directiveIndex) validate(report func(Diagnostic)) {
+	for _, d := range ix.all {
+		switch d.Tag {
+		case TagNondet, TagAlloc, TagErrok:
+			if d.Reason == "" {
+				report(Diagnostic{Pos: d.Pos, Analyzer: "directive",
+					Message: "suppression //failtrans:" + d.Tag + " requires a reason"})
+			}
+		case TagHotpath:
+			// An annotation, not a suppression; no reason needed.
+		default:
+			report(Diagnostic{Pos: d.Pos, Analyzer: "directive",
+				Message: "unknown failtrans directive tag \"" + d.Tag + "\""})
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package durability reports discarded errors from the operations that
+// make storage stable — the exact bug class of the FileStore torn-append
+// fix, where a mishandled write error let replay silently drop committed
+// records. An fsync that fails without anyone noticing is indistinguishable
+// from an fsync that never ran; every error from the durability surface
+// must be handled or explicitly waved off with a written reason.
+//
+// A call's error is "discarded" when the call is an expression statement,
+// is deferred or spawned with go, or has every error result assigned to
+// the blank identifier. The durability surface is:
+//
+//   - methods named Sync, Truncate, Seek, or Flush, on any receiver
+//   - os.Rename (and os.Link/os.Symlink), whose loss breaks atomic
+//     replacement
+//   - Close on a write path: a receiver that, in the same function, is
+//     also written through (Write/WriteString/WriteAt/Sync/Truncate/Seek)
+//     or was opened by os.Create/os.OpenFile — for a writer, Close is the
+//     last chance to observe a delayed write failure
+//   - any error-returning function of the configured strict packages (the
+//     stablestore / commit APIs), whose errors are recovery-correctness
+//     signals by construction
+//
+// `//failtrans:errok <reason>` on the line (or the line above) silences a
+// finding; the reason is mandatory.
+package durability
+
+import (
+	"go/ast"
+	"go/types"
+
+	"failtrans/internal/analysis"
+)
+
+// New returns the durability analyzer. strictPkgs are import paths whose
+// every discarded error is reported regardless of the callee's name.
+func New(strictPkgs ...string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:        "durability",
+		Doc:         "report discarded errors from fsync/truncate/seek/rename/close-on-write and the stable-storage APIs",
+		SuppressTag: analysis.TagErrok,
+		Run: func(pass *analysis.Pass) error {
+			run(pass, strictPkgs)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, strictPkgs []string) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, strictPkgs)
+		}
+	}
+}
+
+// alwaysCheck are method names whose errors are durability signals on any
+// receiver.
+var alwaysCheck = map[string]bool{
+	"Sync": true, "Truncate": true, "Seek": true, "Flush": true,
+}
+
+// writeEvidence are method names that mark their receiver as a write path,
+// making a later discarded Close reportable.
+var writeEvidence = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
+	"Sync": true, "Truncate": true, "Seek": true, "Flush": true,
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, strictPkgs []string) {
+	info := pass.Pkg.Info
+	// First pass: which objects does this function treat as writers?
+	writers := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && writeEvidence[sel.Sel.Name] {
+				if fn := analysis.CalleeFunc(info, n); fn != nil {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if obj := analysis.ExprObject(info, sel.X); obj != nil {
+							writers[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// f, err := os.Create(...) / os.OpenFile(...) marks f.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := analysis.CalleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" ||
+					(fn.Name() != "Create" && fn.Name() != "OpenFile") {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					if obj := lhsObject(info, n.Lhs[i]); obj != nil {
+						writers[obj] = true
+					}
+				} else if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+					if obj := lhsObject(info, n.Lhs[0]); obj != nil {
+						writers[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: discarded errors.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				checkDiscarded(pass, info, call, writers, strictPkgs, "discarded")
+			}
+		case *ast.DeferStmt:
+			checkDiscarded(pass, info, n.Call, writers, strictPkgs, "discarded by defer")
+		case *ast.GoStmt:
+			checkDiscarded(pass, info, n.Call, writers, strictPkgs, "discarded by go")
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, info, n, writers, strictPkgs)
+		}
+		return true
+	})
+}
+
+// lhsObject resolves the object an assignment's left-hand side defines or
+// names.
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return analysis.ExprObject(info, e)
+}
+
+// checkBlankAssign reports calls whose every error result lands in the
+// blank identifier, e.g. `_ = f.Sync()` or `_, _ = f.Seek(0, 0)`.
+func checkBlankAssign(pass *analysis.Pass, info *types.Info, n *ast.AssignStmt, writers map[types.Object]bool, strictPkgs []string) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return
+	}
+	res := sig.Results()
+	if res.Len() != len(n.Lhs) && len(n.Lhs) != 1 {
+		return
+	}
+	for i := 0; i < res.Len(); i++ {
+		if !analysis.IsErrorType(res.At(i).Type()) {
+			continue
+		}
+		lhs := n.Lhs[0]
+		if res.Len() == len(n.Lhs) {
+			lhs = n.Lhs[i]
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+			return // the error is captured somewhere
+		}
+	}
+	checkDiscarded(pass, info, call, writers, strictPkgs, "assigned to _")
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkDiscarded reports the call if it belongs to the durability surface
+// and returns an error that the caller is dropping.
+func checkDiscarded(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, writers map[types.Object]bool, strictPkgs []string, how string) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	returnsError := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if analysis.IsErrorType(sig.Results().At(i).Type()) {
+			returnsError = true
+		}
+	}
+	if !returnsError {
+		return
+	}
+	name := fn.Name()
+	recv := sig.Recv()
+	switch {
+	case recv != nil && alwaysCheck[name]:
+		pass.Reportf(call.Pos(),
+			"error from %s %s: a dropped %s error silently abandons durability; handle it or annotate //failtrans:errok <reason>",
+			name, how, name)
+	case recv == nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" &&
+		(name == "Rename" || name == "Link" || name == "Symlink"):
+		pass.Reportf(call.Pos(),
+			"error from os.%s %s: a failed rename breaks atomic replacement; handle it or annotate //failtrans:errok <reason>",
+			name, how)
+	case recv != nil && name == "Close":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := analysis.ExprObject(info, sel.X); obj != nil && writers[obj] {
+				pass.Reportf(call.Pos(),
+					"error from Close %s on a write path: Close is the last chance to observe a delayed write failure; handle it or annotate //failtrans:errok <reason>",
+					how)
+			}
+		}
+	case fn.Pkg() != nil && inStrict(fn.Pkg().Path(), strictPkgs):
+		pass.Reportf(call.Pos(),
+			"error from %s.%s %s: stable-storage API errors are recovery-correctness signals; handle it or annotate //failtrans:errok <reason>",
+			fn.Pkg().Name(), name, how)
+	}
+}
+
+func inStrict(path string, strictPkgs []string) bool {
+	for _, p := range strictPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

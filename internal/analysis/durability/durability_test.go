@@ -1,0 +1,32 @@
+package durability_test
+
+import (
+	"strings"
+	"testing"
+
+	"failtrans/internal/analysis/analysistest"
+	"failtrans/internal/analysis/durability"
+)
+
+// TestDurability runs the pass over the dur fixture with dur/store in the
+// strict set, covering every discard shape (statement, defer, go, blank
+// assign), the write-path Close heuristic and its read-only counterexample,
+// os.Rename, strict-package calls, and a reasoned errok suppression.
+func TestDurability(t *testing.T) {
+	analysistest.Run(t, "testdata/src", durability.New("dur/store"), "dur")
+}
+
+// TestDurabilityWithoutStrictSet re-runs the fixture with no strict
+// packages: the store.Commit finding must disappear while the rest stay.
+func TestDurabilityWithoutStrictSet(t *testing.T) {
+	res := analysistest.Load(t, "testdata/src", durability.New(), "dur")
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "Commit") {
+			t.Errorf("%s: strict-set finding reported without a strict set: %s",
+				res.Fset.Position(d.Pos), d.Message)
+		}
+	}
+	if len(res.Diags) != 7 {
+		t.Errorf("got %d diagnostics without strict set, want 7", len(res.Diags))
+	}
+}

@@ -1,0 +1,56 @@
+// Package dur is the durability fixture: every way of discarding an error
+// from the durability surface, next to the look-alikes the pass must leave
+// alone (read-only Close, handled errors, reasoned suppressions).
+package dur
+
+import (
+	"os"
+
+	"dur/store"
+)
+
+// Save exercises the core surface: fsync-family methods, os.Rename, Close
+// on a write path, and the strict stable-store package.
+func Save(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync() // want `error from Sync discarded`
+	_ = f.Sync() // want `error from Sync assigned to _`
+	if _, err := f.Seek(0, 0); err != nil { // handled: silent
+		return err
+	}
+	_, _ = f.Seek(0, 0) // want `error from Seek assigned to _`
+	f.Truncate(0) // want `error from Truncate discarded`
+	defer f.Close() // want `error from Close discarded by defer on a write path`
+	os.Rename(path, path+".bak") // want `error from os\.Rename discarded: a failed rename breaks atomic replacement`
+	store.Commit(data) // want `error from store\.Commit discarded: stable-storage API errors are recovery-correctness signals`
+	store.Len() // no error result: silent even though store is strict
+	return nil
+}
+
+// ReadOnly proves Close is only a finding on a write path: this file is
+// opened read-only and never written through, so the bare Close is fine.
+func ReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// Suppressed shows a reasoned //failtrans:errok waving off a finding.
+func Suppressed(f *os.File) {
+	if _, err := f.Write(nil); err != nil {
+		f.Close() //failtrans:errok fixture: best-effort cleanup, the write error is the primary failure
+		return
+	}
+	go f.Sync() // want `error from Sync discarded by go`
+}

@@ -1,0 +1,10 @@
+// Package store stands in for a stable-store package listed in the
+// analyzer's strict set: every error-returning function here must have its
+// error handled by callers, whatever the function is called.
+package store
+
+// Commit pretends to make state durable.
+func Commit(data []byte) error { return nil }
+
+// Len returns no error, so callers owe it nothing.
+func Len() int { return 0 }

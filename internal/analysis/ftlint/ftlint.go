@@ -1,0 +1,98 @@
+// Package ftlint assembles the failtrans invariant checkers — detlint,
+// hotpathcheck, durability — with this repository's package configuration,
+// for cmd/ftlint and for the repo-wide regression test that keeps the tree
+// lint-clean.
+package ftlint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"failtrans/internal/analysis"
+	"failtrans/internal/analysis/detlint"
+	"failtrans/internal/analysis/durability"
+	"failtrans/internal/analysis/hotpath"
+)
+
+// DeterministicCore lists the packages whose execution must be a pure
+// function of their seeds: the simulator, the recovery layers above it,
+// the campaign machinery and its observability — every byte of their
+// output is diffed across runs (serial/parallel equivalence, trace
+// byte-identity), so detlint bans nondeterminism sources here.
+var DeterministicCore = []string{
+	"failtrans/internal/sim",
+	"failtrans/internal/dc",
+	"failtrans/internal/vista",
+	"failtrans/internal/event",
+	"failtrans/internal/statemachine",
+	"failtrans/internal/recovery",
+	"failtrans/internal/campaign",
+	"failtrans/internal/obs",
+	"failtrans/internal/stablestore",
+	"failtrans/internal/faults",
+}
+
+// DurabilityStrict lists the packages whose every discarded error the
+// durability pass reports: the stable-storage layer and the commit APIs
+// above it, where a dropped error is the torn-append bug class.
+var DurabilityStrict = []string{
+	"failtrans/internal/stablestore",
+	"failtrans/internal/dc",
+	"failtrans/internal/vista",
+}
+
+// Analyzers returns the ftlint suite. extraDetPkgs extends detlint's
+// deterministic core (the CI negative check plants a scratch package and
+// passes it here).
+func Analyzers(extraDetPkgs ...string) []*analysis.Analyzer {
+	det := append(append([]string(nil), DeterministicCore...), extraDetPkgs...)
+	return []*analysis.Analyzer{
+		detlint.New(det...),
+		hotpath.New(),
+		durability.New(DurabilityStrict...),
+	}
+}
+
+// Run lints the module that contains dir with the full suite and returns
+// the findings. Patterns default to ./... .
+func Run(dir string, patterns []string, extraDetPkgs ...string) (*analysis.Result, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return analysis.Run(analysis.Config{
+		Dir:        root,
+		ModulePath: modpath,
+		Patterns:   patterns,
+	}, Analyzers(extraDetPkgs...))
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,108 @@
+package ftlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"failtrans/internal/analysis"
+	"failtrans/internal/analysis/ftlint"
+)
+
+// TestRepoTreeIsClean is the regression that keeps the repository
+// lint-clean: the full ftlint suite over the whole module must report
+// nothing. Any new finding either gets fixed or gets a reasoned
+// suppression before this test passes again.
+func TestRepoTreeIsClean(t *testing.T) {
+	res, err := ftlint.Run(".", nil)
+	if err != nil {
+		t.Fatalf("ftlint.Run: %v", err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", analysis.FormatDiag(res.Fset, d))
+	}
+}
+
+// TestPlantedNondetIsCaught is the in-process twin of CI's negative check:
+// a module with a time.Now planted in internal/sim must fail the suite.
+// It proves the clean run above is not vacuous.
+func TestPlantedNondetIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module failtrans\n\ngo 1.22\n")
+	write(t, filepath.Join(dir, "internal", "sim", "clock.go"), `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	res, err := ftlint.Run(dir, nil)
+	if err != nil {
+		t.Fatalf("ftlint.Run: %v", err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the planted one: %v", len(res.Diags), res.Diags)
+	}
+	if d := res.Diags[0]; d.Analyzer != "detlint" || !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("wrong diagnostic for the plant: %s: %s", d.Analyzer, d.Message)
+	}
+}
+
+// TestExtraDetPkgExtendsCore mirrors the -detpkg flag: a scratch package
+// outside the deterministic core is ignored by default and checked once
+// its import path is passed as an extra detlint package.
+func TestExtraDetPkgExtendsCore(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module failtrans\n\ngo 1.22\n")
+	write(t, filepath.Join(dir, "internal", "scratch", "scratch.go"), `package scratch
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	res, err := ftlint.Run(dir, nil)
+	if err != nil {
+		t.Fatalf("ftlint.Run: %v", err)
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("scratch package flagged without -detpkg: %v", res.Diags)
+	}
+	res, err = ftlint.Run(dir, nil, "failtrans/internal/scratch")
+	if err != nil {
+		t.Fatalf("ftlint.Run with extra pkg: %v", err)
+	}
+	if len(res.Diags) != 1 || !strings.Contains(res.Diags[0].Message, "time.Now") {
+		t.Fatalf("extra detlint package not enforced: %v", res.Diags)
+	}
+}
+
+// TestHotpathRootsAnnotated pins the hot-path annotations the repo relies
+// on: deleting one would silently shrink hotpathcheck's coverage to
+// nothing, so their presence is asserted here.
+func TestHotpathRootsAnnotated(t *testing.T) {
+	roots := map[string]int{ // file -> minimum number of hotpath annotations
+		"../../vista/vista.go": 3, // (*Segment).Write, SetContents, Commit
+		"../../sim/proc.go":    1, // (*Proc).AppendCheckpointImage
+		"../../dc/dc.go":       1, // (*DC).diffOne
+	}
+	for file, min := range roots {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("read %s: %v", file, err)
+			continue
+		}
+		if got := strings.Count(string(data), "//failtrans:hotpath"); got < min {
+			t.Errorf("%s: %d //failtrans:hotpath annotations, want at least %d", file, got, min)
+		}
+	}
+}
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"failtrans/internal/analysis/analysistest"
+	"failtrans/internal/analysis/hotpath"
+)
+
+// TestHotpath runs the pass over a two-package fixture: the annotated root
+// in hp/root, the reached helper in hp/lib. The fixture demonstrates every
+// allocation class the pass reports, the two sanctioned append idioms, the
+// propagation-cutting //failtrans:alloc call suppression, and — via the
+// want in hp/lib — that hotness facts cross package boundaries.
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotpath.New(), "hp/root")
+}

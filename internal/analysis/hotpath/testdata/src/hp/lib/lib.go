@@ -1,0 +1,21 @@
+// Package lib is the dependency half of the hotpathcheck fixture: nothing
+// here is annotated, yet Helper is reported — its hotness arrives as a
+// fact from the annotated root in hp/root, across the package boundary.
+package lib
+
+// Helper is hot only because the annotated root calls it.
+func Helper(b []byte) int {
+	m := map[int]int{len(b): 1} // want `hot path \(via root\.\(\*T\)\.Commit\): map literal allocates`
+	return len(m)
+}
+
+// Cold has an allocation, but the only call edge into it carries a
+// //failtrans:alloc suppression, which cuts propagation: no finding.
+func Cold() *int {
+	return new(int)
+}
+
+// Unreached also allocates and is never called from a hot root: silent.
+func Unreached() []int {
+	return []int{1, 2, 3}
+}

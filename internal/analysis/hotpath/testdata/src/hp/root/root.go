@@ -1,0 +1,51 @@
+// Package root is the entry-point half of the hotpathcheck fixture: Commit
+// carries the //failtrans:hotpath annotation, so its body and everything it
+// statically calls — including hp/lib across the package boundary — must be
+// allocation-free or explicitly waved off.
+package root
+
+import (
+	"fmt"
+
+	"hp/lib"
+)
+
+// T is a fake segment with a reusable buffer.
+type T struct {
+	buf []byte
+	n   int
+}
+
+// Commit is the annotated hot-path root.
+//
+//failtrans:hotpath
+func (t *T) Commit(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n) // want `fmt.Errorf allocates` `argument converts concrete int to interface`
+	}
+	b := make([]byte, n) // want `hot path \(via root\.\(\*T\)\.Commit\): make allocates`
+	t.buf = append(t.buf[:0], b...) // the reuse idiom: assigned back to its (resliced) slice — silent
+	lost := append(b, 1) // want `append result is neither assigned back to its slice nor returned`
+	p := &T{n: len(lost)} // want `address-of composite literal escapes to the heap`
+	boxed := any(p.n) // want `conversion boxes concrete int into interface any`
+	_ = boxed
+	s := string(t.buf) // want `\[\]byte to string conversion copies`
+	t.n = len(s) + lib.Helper(t.buf)
+	lib.Cold() //failtrans:alloc fixture: sanctioned cold branch, propagation stops at this call
+	f := func() { t.n++ } // want `closure captures "t" by reference`
+	f()
+	return nil
+}
+
+// Grow shows the returned-append idiom staying silent.
+//
+//failtrans:hotpath
+func (t *T) Grow(data []byte) []byte {
+	return append(t.buf, data...)
+}
+
+// NotHot allocates freely: it is neither annotated nor reachable from an
+// annotated root.
+func NotHot() []byte {
+	return make([]byte, 1024)
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config tells the driver what to load and how to map import paths to
+// directories.
+type Config struct {
+	// Dir is the root directory: a module root (the directory holding
+	// go.mod) when ModulePath is set, or a GOPATH-src-style root where
+	// import path "a/b" lives in Dir/a/b (the analysistest fixture
+	// layout) when ModulePath is empty.
+	Dir string
+	// ModulePath is the module's import-path prefix ("failtrans").
+	ModulePath string
+	// Patterns selects packages: "./..." for every package under Dir, or
+	// explicit import paths.
+	Patterns []string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader loads and type-checks packages from source. Local packages (as
+// defined by Config) are resolved under Dir; everything else falls back to
+// the standard library's source importer, so the whole run works with no
+// compiled export data and no network.
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	order   []*Package // load-completion (= topological) order
+	loading map[string]bool
+}
+
+func newLoader(cfg Config) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		cfg:     cfg,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// dirFor maps an import path to a local directory, or ok=false when the
+// path is not local (standard library).
+func (l *loader) dirFor(path string) (string, bool) {
+	if l.cfg.ModulePath != "" {
+		if path == l.cfg.ModulePath {
+			return l.cfg.Dir, true
+		}
+		if rel, ok := strings.CutPrefix(path, l.cfg.ModulePath+"/"); ok {
+			return filepath.Join(l.cfg.Dir, filepath.FromSlash(rel)), true
+		}
+		return "", false
+	}
+	// GOPATH-style fixture root: local iff the directory exists.
+	dir := filepath.Join(l.cfg.Dir, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Import implements types.Importer for the type checker's import clauses.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// sourceFiles lists the package's non-test Go files in sorted order.
+func sourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks the package at dir, memoized by import path.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// expand resolves the Config patterns into import paths.
+func (l *loader) expand() ([]string, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range l.cfg.Patterns {
+		if pat != "./..." {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(l.cfg.Dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != l.cfg.Dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := sourceFiles(p)
+			if err != nil || len(names) == 0 {
+				return nil
+			}
+			rel, err := filepath.Rel(l.cfg.Dir, p)
+			if err != nil {
+				return err
+			}
+			switch {
+			case rel == "." && l.cfg.ModulePath != "":
+				add(l.cfg.ModulePath)
+			case rel == ".":
+				// A GOPATH-style root itself is not a package.
+			case l.cfg.ModulePath != "":
+				add(l.cfg.ModulePath + "/" + filepath.ToSlash(rel))
+			default:
+				add(filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// loadAll loads every package the patterns select (plus their local
+// transitive dependencies, via the importer) and returns them in
+// topological order, dependencies first.
+func (l *loader) loadAll() ([]*Package, error) {
+	paths, err := l.expand()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		dir, ok := l.dirFor(p)
+		if !ok {
+			return nil, fmt.Errorf("package %q is outside the analysis root", p)
+		}
+		if _, err := l.load(p, dir); err != nil {
+			return nil, err
+		}
+	}
+	return l.order, nil
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"failtrans/internal/analysis"
+	"failtrans/internal/analysis/detlint"
+)
+
+// TestDirectiveHandling drives the full Run pipeline over the dirfix
+// fixture and pins down the driver's directive semantics:
+//
+//   - a trailing suppression covers its own line only; a standalone
+//     comment line covers the line below it (Trailing, Standalone, NoBleed)
+//   - a reasonless suppression silences its finding but surfaces a
+//     directive diagnostic, so the tree still fails CI (Reasonless)
+//   - an unknown tag suppresses nothing and is itself reported (Typo)
+func TestDirectiveHandling(t *testing.T) {
+	res, err := analysis.Run(
+		analysis.Config{Dir: "testdata/src", Patterns: []string{"dirfix"}},
+		[]*analysis.Analyzer{detlint.New("dirfix")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	type diag struct {
+		analyzer string
+		line     int
+		contains string
+	}
+	want := []diag{
+		{"directive", 30, "requires a reason"},
+		{"directive", 36, `unknown failtrans directive tag "nodet"`},
+		{"detlint", 23, "time.Now"},
+		{"detlint", 38, "time.Now"},
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range res.Diags {
+			pos := res.Fset.Position(d.Pos)
+			if d.Analyzer == w.analyzer && pos.Line == w.line && strings.Contains(d.Message, w.contains) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic on line %d containing %q", w.analyzer, w.line, w.contains)
+		}
+	}
+	if len(res.Diags) != len(want) {
+		for _, d := range res.Diags {
+			t.Logf("got: %s: %s: %s", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		t.Errorf("got %d diagnostics, want %d", len(res.Diags), len(want))
+	}
+}

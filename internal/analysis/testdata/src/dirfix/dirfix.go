@@ -1,0 +1,39 @@
+// Package dirfix exercises the driver's directive handling: placement
+// (trailing vs standalone), mandatory reasons, and unknown-tag detection.
+// The line numbers of this file are asserted in run_test.go.
+package dirfix
+
+import "time"
+
+// Trailing's finding is silenced by the directive on the same line.
+func Trailing() time.Time {
+	return time.Now() //failtrans:nondet fixture: trailing, suppresses this line
+}
+
+// Standalone's finding is silenced by the full-line comment above it.
+func Standalone() time.Time {
+	//failtrans:nondet fixture: standalone, suppresses the line below
+	return time.Now()
+}
+
+// NoBleed shows a trailing directive covering only its own line: the
+// second time.Now must still be reported (line 23).
+func NoBleed() (time.Time, time.Time) {
+	a := time.Now() //failtrans:nondet fixture: suppresses only this line
+	b := time.Now()
+	return a, b
+}
+
+// Reasonless's suppression still silences the finding, but the driver
+// reports the missing reason (line 30), so the tree cannot lint clean.
+func Reasonless() time.Time {
+	return time.Now() //failtrans:nondet
+}
+
+// A typoed tag suppresses nothing and is itself reported (line 36), so
+// Typo's time.Now (line 38) is also still reported.
+//
+//failtrans:nodet oops
+func Typo() time.Time {
+	return time.Now()
+}

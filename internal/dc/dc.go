@@ -206,6 +206,7 @@ func (d *DC) Attach() error {
 
 func (d *DC) seg(i int) *vista.Segment {
 	if d.segs[i] == nil {
+		//failtrans:alloc lazy one-time segment construction; every later commit of the process reuses it
 		d.segs[i] = vista.NewSegment(0, d.PageSize)
 		if m := d.World.Metrics; m != nil && i < len(m.Vista) {
 			// Each segment gets its own fixed slot: coordinated commits
@@ -249,9 +250,12 @@ func (d *DC) commitOne(p *sim.Proc, label string) error {
 // It touches only p's own state (program, session counters, segment,
 // buffer), so coordinated commits run it for different processes
 // concurrently. All global bookkeeping lives in finishCommit.
+//
+//failtrans:hotpath
 func (d *DC) diffOne(p *sim.Proc) (vista.Stats, error) {
 	buf, err := p.AppendCheckpointImage(d.imgBuf[p.Index][:0], d.EssentialOnly)
 	if err != nil {
+		//failtrans:alloc cold error path: a failed serialization aborts the commit, so the formatting never runs in a committing cycle
 		return vista.Stats{}, fmt.Errorf("dc: commit %s: %w", p.Prog.Name(), err)
 	}
 	d.imgBuf[p.Index] = buf

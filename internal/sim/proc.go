@@ -47,6 +47,8 @@ func appendI64(buf []byte, v int64) []byte {
 // extended slice — the zero-allocation form of CheckpointImage for callers
 // (Discount Checking's commit path) that reuse one buffer per process
 // across commit cycles.
+//
+//failtrans:hotpath
 func (p *Proc) AppendCheckpointImage(buf []byte, essential bool) ([]byte, error) {
 	var app []byte
 	var err error
@@ -58,6 +60,7 @@ func (p *Proc) AppendCheckpointImage(buf []byte, essential bool) ([]byte, error)
 		app, err = p.Prog.MarshalState()
 	}
 	if err != nil {
+		//failtrans:alloc cold error path: a failed marshal aborts the commit, so the formatting never runs in a committing cycle
 		return nil, fmt.Errorf("sim: marshal %s state: %w", p.Prog.Name(), err)
 	}
 	var kern []byte

@@ -74,17 +74,17 @@ func OpenFile(path string) (*FileStore, error) {
 	s := &FileStore{path: path, f: f, index: make(map[string][]byte)}
 	valid, err := s.replay()
 	if err != nil {
-		f.Close()
+		f.Close() //failtrans:errok open fails anyway; the replay error is the primary failure
 		return nil, err
 	}
 	// Truncate any torn tail so future appends start on a record
 	// boundary.
 	if err := f.Truncate(valid); err != nil {
-		f.Close()
+		f.Close() //failtrans:errok open fails anyway; the truncate error is the primary failure
 		return nil, fmt.Errorf("stablestore: truncate torn tail: %w", err)
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
+		f.Close() //failtrans:errok open fails anyway; the seek error is the primary failure
 		return nil, fmt.Errorf("stablestore: %w", err)
 	}
 	s.size = valid
@@ -249,7 +249,7 @@ func (s *FileStore) Compact() error {
 	s.f, s.size, s.broken = nf, 0, nil
 	restore := func() {
 		s.f, s.size, s.broken = old, oldSize, oldBroken
-		nf.Close()
+		nf.Close() //failtrans:errok rolling back a failed compaction; the temp file is removed next, so its close error carries no durability
 		os.Remove(tmp)
 	}
 	for _, k := range s.Keys() {

@@ -137,6 +137,7 @@ func (s *Segment) grow(n int) {
 		// re-extending within capacity needs no clearing or copying.
 		s.mem = s.mem[:n]
 	} else {
+		//failtrans:alloc segment growth is O(log size) over a process lifetime; the steady-state commit cycle never grows
 		bigger := make([]byte, n)
 		copy(bigger, s.mem)
 		s.mem = bigger
@@ -154,6 +155,7 @@ func (s *Segment) pageBuf(n int) []byte {
 			return b[:n]
 		}
 	}
+	//failtrans:alloc pool miss happens only until the pool reaches the working set; AllocsPerRun pins the warmed cycle at zero
 	return make([]byte, n, s.pageSize)
 }
 
@@ -196,8 +198,11 @@ func (s *Segment) touchPage(p int) {
 // logging before-images of every touched page. The hash cache entries of
 // the touched pages are invalidated (Write does not know the final page
 // contents; SetContents recomputes them on its next pass).
+//
+//failtrans:hotpath
 func (s *Segment) Write(off int, data []byte) error {
 	if off < 0 {
+		//failtrans:alloc cold error path: a negative offset aborts the write, so the formatting never runs in a committing cycle
 		return fmt.Errorf("vista: negative offset %d", off)
 	}
 	if len(data) == 0 {
@@ -243,6 +248,8 @@ func (s *Segment) ReadInto(off int, dst []byte) error {
 // hash of the resident page, so clean pages are skipped without reading
 // the resident bytes at all; only pages without a cached hash yet fall
 // back to a word-wise byte comparison.
+//
+//failtrans:hotpath
 func (s *Segment) SetContents(data []byte) {
 	s.grow(len(data))
 	// Pages beyond len(data) that contain old bytes must be cleared.
@@ -384,6 +391,8 @@ func (s *Segment) DirtyPages() int { return s.nDirty }
 // re-arms the page traps. It returns what had to be written to stable
 // storage. The undo log's page buffers are recycled for future cycles, so
 // a steady-state commit allocates nothing.
+//
+//failtrans:hotpath
 func (s *Segment) Commit(registers []byte) Stats {
 	st := Stats{Pages: s.nDirty, Bytes: s.nDirty*s.pageSize + len(registers)}
 	s.savedReg = append(s.savedReg[:0], registers...)
