@@ -13,7 +13,10 @@
 // Every campaign (fault-injection runs, Figure 8 cells) fans out over
 // -parallel workers; results are byte-identical to a serial run for the
 // same seed (see internal/campaign), so parallelism is purely a wall-clock
-// knob.
+// knob. The fault studies additionally serve injection runs from a
+// prefix-snapshot cache (-snapshots, on by default): one template run
+// memoizes the clean session and every injection run forks it mid-stream
+// instead of re-executing the prefix — also byte-identical either way.
 //
 // Usage:
 //
@@ -41,6 +44,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count (1 = serial; results are identical either way)")
+	snapshots := flag.Bool("snapshots", true, "serve table1/table2 injection runs from a prefix-snapshot cache (results are identical either way)")
 	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this path")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -148,7 +152,7 @@ func main() {
 	}
 	if want("table1") {
 		run("table1", func() error {
-			res, err := bench.Table1(*crashes, *parallel, campObs)
+			res, err := bench.Table1(*crashes, *parallel, *snapshots, campObs)
 			if err != nil {
 				return err
 			}
@@ -159,7 +163,7 @@ func main() {
 	}
 	if want("table2") {
 		run("table2", func() error {
-			res, err := bench.Table2(*crashes, *parallel, campObs)
+			res, err := bench.Table2(*crashes, *parallel, *snapshots, campObs)
 			if err != nil {
 				return err
 			}

@@ -127,6 +127,33 @@ func New(filename string, contents []string) *Editor {
 
 func (e *Editor) setLineSum(i int) { e.LineSums[i] = apputil.Checksum(e.Lines[i]) }
 
+// Fork implements sim.Forker: an independent deep copy of the editor.
+// Unlike a MarshalState round trip it never touches the receiver (no shared
+// encBuf), so a quiescent template editor may be forked from many
+// goroutines at once.
+func (e *Editor) Fork() (sim.Program, error) {
+	ne := *e
+	ne.Lines = forkLines(e.Lines)
+	ne.ExBuf = append([]byte(nil), e.ExBuf...)
+	ne.UndoLines = forkLines(e.UndoLines)
+	ne.UndoSums = append([]uint32(nil), e.UndoSums...)
+	ne.LineSums = append([]uint32(nil), e.LineSums...)
+	ne.encBuf = nil
+	return &ne, nil
+}
+
+// forkLines deep-copies a line buffer (line bytes are edited in place).
+func forkLines(lines [][]byte) [][]byte {
+	if lines == nil {
+		return nil
+	}
+	out := make([][]byte, len(lines))
+	for i, l := range lines {
+		out[i] = append([]byte(nil), l...)
+	}
+	return out
+}
+
 // Script builds the keystroke input script for a session: sequences of vi
 // commands as individual key bytes.
 func Script(keys string) [][]byte {

@@ -442,6 +442,22 @@ func (db *DB) MarshalState() ([]byte, error) {
 	return e.B, nil
 }
 
+// Fork implements sim.Forker via a MarshalState round trip into a fresh
+// instance: Unmarshal rebuilds the BTree and buffer pool from scratch, and
+// Marshal only reads the receiver (fresh encoder), so a quiescent template
+// may be forked from many goroutines at once.
+func (db *DB) Fork() (sim.Program, error) {
+	blob, err := db.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	nd := &DB{}
+	if err := nd.UnmarshalState(blob); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
 // UnmarshalState implements sim.Program.
 func (db *DB) UnmarshalState(data []byte) error {
 	d := apputil.Dec{B: data}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"time"
+
+	"failtrans/internal/faults"
+	"failtrans/internal/obs"
+)
+
+// CampaignSnapshotResult is the campaign-snapshot bench row: the same
+// reduced nvi Table 1 campaign measured from scratch and snapshot-served,
+// at the study's default SessionLen (where the clean prefix dominates each
+// injection run). Both modes produce byte-identical study results; the row
+// quantifies what the prefix-snapshot cache saves.
+type CampaignSnapshotResult struct {
+	App  string `json:"app"`
+	Runs int64  `json:"runs"` // injection runs executed per mode
+
+	ScratchNsPerRun  float64 `json:"scratch_ns_per_run"`
+	SnapshotNsPerRun float64 `json:"snapshot_ns_per_run"`
+	SpeedupX         float64 `json:"speedup_x"`
+
+	// Steps of the clean prefix re-executed before fault activation, per
+	// activated injection run: the work memoization removes.
+	ScratchStepsReplayedPerRun  float64 `json:"scratch_steps_replayed_per_run"`
+	SnapshotStepsReplayedPerRun float64 `json:"snapshot_steps_replayed_per_run"`
+	ReplayReductionX            float64 `json:"replay_reduction_x"`
+
+	Snapshots  int64 `json:"snapshots"`
+	Forks      int64 `json:"forks"`
+	ForkMeanNs int64 `json:"fork_mean_ns"`
+}
+
+// benchCampaignSnapshot runs the reduced campaign in both modes, serially
+// (so the ns/run comparison is not confounded by worker scheduling) and
+// best-of-three (so a cold first iteration does not masquerade as the
+// steady state). The counters come from the final iteration; they are
+// identical across iterations.
+func benchCampaignSnapshot(scale int) (CampaignSnapshotResult, error) {
+	res := CampaignSnapshotResult{App: "nvi"}
+	runCampaign := func(snapshots bool) (ns int64, m *obs.CampaignMetrics, err error) {
+		for i := 0; i < 3; i++ {
+			s := faults.NewAppStudy("nvi") // default SessionLen
+			s.CrashTarget = 2 * scale
+			s.MaxRunsPerType = s.CrashTarget * 12
+			s.Snapshots = snapshots
+			s.WallClock = wallClock
+			m = obs.NewCampaignMetrics(1)
+			s.CampaignObs = m
+			start := time.Now()
+			if _, err := s.Run(); err != nil {
+				return 0, nil, err
+			}
+			if d := time.Since(start).Nanoseconds(); i == 0 || d < ns {
+				ns = d
+			}
+		}
+		return ns, m, nil
+	}
+
+	scratchNs, scratchM, err := runCampaign(false)
+	if err != nil {
+		return res, err
+	}
+	snapNs, snapM, err := runCampaign(true)
+	if err != nil {
+		return res, err
+	}
+
+	// Both modes execute the identical run sequence, so either run count
+	// divides both timings.
+	res.Runs = scratchM.SerialRuns
+	if res.Runs > 0 {
+		res.ScratchNsPerRun = float64(scratchNs) / float64(res.Runs)
+		res.SnapshotNsPerRun = float64(snapNs) / float64(res.Runs)
+	}
+	if res.SnapshotNsPerRun > 0 {
+		res.SpeedupX = res.ScratchNsPerRun / res.SnapshotNsPerRun
+	}
+	ssteps, sruns := scratchM.Snapshot.ReplaySnapshot()
+	nsteps, nruns := snapM.Snapshot.ReplaySnapshot()
+	if sruns > 0 {
+		res.ScratchStepsReplayedPerRun = float64(ssteps) / float64(sruns)
+	}
+	if nruns > 0 {
+		res.SnapshotStepsReplayedPerRun = float64(nsteps) / float64(nruns)
+	}
+	if res.SnapshotStepsReplayedPerRun > 0 {
+		res.ReplayReductionX = res.ScratchStepsReplayedPerRun / res.SnapshotStepsReplayedPerRun
+	}
+	res.Snapshots = snapM.Snapshot.Snapshots
+	res.Forks = snapM.Snapshot.Forks
+	res.ForkMeanNs = snapM.Snapshot.ForkLatency.Mean()
+	return res, nil
+}

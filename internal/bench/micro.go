@@ -87,7 +87,10 @@ type BenchReport struct {
 	Seed []MicroResult `json:"seed_reference"`
 	// Micro holds the same suite measured by this run.
 	Micro []MicroResult `json:"micro"`
-	Fig8  []Fig8Summary `json:"fig8"`
+	// CampaignSnapshot compares a reduced fault campaign from scratch vs
+	// served from the prefix-snapshot cache.
+	CampaignSnapshot CampaignSnapshotResult `json:"campaign_snapshot"`
+	Fig8             []Fig8Summary          `json:"fig8"`
 }
 
 // runMicro executes one benchmark body under the testing harness.
@@ -179,6 +182,11 @@ func RunBench(scale, workers int) (*BenchReport, error) {
 		runMicro("DCCommit", benchDCCommit),
 		runMicro("DCRollback", benchDCRollback),
 	}
+	cs, err := benchCampaignSnapshot(scale)
+	if err != nil {
+		return nil, err
+	}
+	rep.CampaignSnapshot = cs
 	for _, app := range Fig8Apps {
 		res, err := Fig8(app, scale, workers)
 		if err != nil {
@@ -228,6 +236,13 @@ func (r *BenchReport) Print(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-12s %12.0f %10d %10d %18s\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, delta)
 	}
+	cs := r.CampaignSnapshot
+	fmt.Fprintf(w, "\nCampaign snapshot cache (%s, %d runs):\n", cs.App, cs.Runs)
+	fmt.Fprintf(w, "%-14s %14s %14s %10s\n", "", "from-scratch", "snapshot", "ratio")
+	fmt.Fprintf(w, "%-14s %14.0f %14.0f %9.1fx\n", "ns/run", cs.ScratchNsPerRun, cs.SnapshotNsPerRun, cs.SpeedupX)
+	fmt.Fprintf(w, "%-14s %14.1f %14.1f %9.1fx\n", "steps replayed", cs.ScratchStepsReplayedPerRun,
+		cs.SnapshotStepsReplayedPerRun, cs.ReplayReductionX)
+	fmt.Fprintf(w, "%-14s snapshots=%d forks=%d fork-mean=%dns\n", "", cs.Snapshots, cs.Forks, cs.ForkMeanNs)
 	for _, f := range r.Fig8 {
 		fmt.Fprintf(w, "\nFigure 8 (%s): baseline %.2fs virtual\n", f.App, f.BaselineVirtualSec)
 		fmt.Fprintf(w, "%-12s %8s %8s %10s %10s\n", "protocol", "ckpts", "logrecs", "DC ovhd", "disk ovhd")

@@ -3,11 +3,17 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"failtrans/internal/faults"
 	"failtrans/internal/obs"
 	"failtrans/internal/protocol"
 )
+
+// wallClock supplies wall-clock nanoseconds to the studies' fork-latency
+// histogram. The studies live in the deterministic core and cannot call
+// time.Now themselves; this package sits outside it and injects the clock.
+func wallClock() int64 { return time.Now().UnixNano() }
 
 // Table1Result holds the Table 1 reproduction for both applications.
 type Table1Result struct {
@@ -18,15 +24,18 @@ type Table1Result struct {
 // Table1 runs the application fault-injection study. crashTarget ~50
 // reproduces the paper; smaller values run faster. workers fans injection
 // runs out over that many goroutines (0 or 1 = serial) with results
-// byte-identical to the serial loop; campObs, if non-nil, collects
-// per-worker campaign counters.
-func Table1(crashTarget, workers int, campObs *obs.CampaignMetrics) (*Table1Result, error) {
+// byte-identical to the serial loop; snapshots serves injection runs from a
+// prefix-snapshot cache (also byte-identical, much faster); campObs, if
+// non-nil, collects per-worker campaign counters.
+func Table1(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetrics) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewAppStudy(app)
 		s.CrashTarget = crashTarget
 		s.MaxRunsPerType = crashTarget * 12
 		s.Parallel = workers
+		s.Snapshots = snapshots
+		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		rs, err := s.Run()
 		if err != nil {
@@ -83,15 +92,17 @@ type Table2Result struct {
 	Postgres []faults.OSTypeResult
 }
 
-// Table2 runs the OS fault-injection study; workers and campObs behave as
-// in Table1.
-func Table2(crashTarget, workers int, campObs *obs.CampaignMetrics) (*Table2Result, error) {
+// Table2 runs the OS fault-injection study; workers, snapshots and campObs
+// behave as in Table1.
+func Table2(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetrics) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewOSStudy(app)
 		s.CrashTarget = crashTarget
 		s.MaxRunsPerType = crashTarget * 12
 		s.Parallel = workers
+		s.Snapshots = snapshots
+		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		rs, err := s.Run()
 		if err != nil {

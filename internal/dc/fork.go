@@ -1,0 +1,77 @@
+package dc
+
+import (
+	"failtrans/internal/sim"
+	"failtrans/internal/vista"
+)
+
+// ForkRecovery implements sim.ForkableRecovery: it deep-copies the whole
+// Discount Checking state — Vista segments mid-transaction, ND logs and
+// replay cursors, dependency maps, commit epochs — against the forked world
+// w, so the copy recovers and commits exactly as the original would from
+// this point on. The CommitHook/RecoveryHook/ExpandResourcesOnCrash
+// callbacks do NOT carry over: they are per-run harness wiring (the
+// original's closures would observe the wrong run); callers re-install
+// their own on the returned *DC (the concrete type is the return value's
+// dynamic type).
+func (d *DC) ForkRecovery(w *sim.World) sim.Recovery {
+	n := len(d.segs)
+	nd := &DC{
+		World:             w,
+		Policy:            d.Policy,
+		Medium:            d.Medium,
+		PageSize:          d.PageSize,
+		segs:              make([]*vista.Segment, n),
+		ndSince:           append([]bool(nil), d.ndSince...),
+		deps:              make([]map[int]int, n),
+		epoch:             append([]int(nil), d.epoch...),
+		msgDeps:           make(map[int64]map[int]int, len(d.msgDeps)),
+		ndLog:             make([][]logRec, n),
+		watermark:         append([]int(nil), d.watermark...),
+		replaying:         append([]bool(nil), d.replaying...),
+		cursor:            append([]int(nil), d.cursor...),
+		stepsBase:         append([]int(nil), d.stepsBase...),
+		replayOpen:        make([]bool, n), // no tracer on a fork: no open windows
+		flushed:           append([]int(nil), d.flushed...),
+		pendingCommit:     append([]string(nil), d.pendingCommit...),
+		registers:         append([]byte(nil), d.registers...),
+		imgBuf:            make([][]byte, n),
+		coStats:           make([]vista.Stats, n),
+		coErrs:            make([]error, n),
+		DisableRecovery:   d.DisableRecovery,
+		CheckBeforeCommit: d.CheckBeforeCommit,
+		EssentialOnly:     d.EssentialOnly,
+		SerialCommit:      d.SerialCommit,
+		ChecksFailed:      d.ChecksFailed,
+		Stats:             d.Stats,
+	}
+	nd.Stats.Checkpoints = append([]int(nil), d.Stats.Checkpoints...)
+	for i, dep := range d.deps {
+		nd.deps[i] = make(map[int]int, len(dep))
+		for q, ep := range dep {
+			nd.deps[i][q] = ep
+		}
+	}
+	for msg, snap := range d.msgDeps {
+		c := make(map[int]int, len(snap))
+		for q, ep := range snap {
+			c[q] = ep
+		}
+		nd.msgDeps[msg] = c
+	}
+	for i, log := range d.ndLog {
+		// Records are appended, truncated and read, never mutated in
+		// place, and each val is a fresh copy at RecordND time — copying
+		// the record slice suffices; the value bytes are shared.
+		nd.ndLog[i] = append([]logRec(nil), log...)
+	}
+	for i, seg := range d.segs {
+		if seg != nil {
+			nd.segs[i] = seg.Fork()
+		}
+	}
+	for i, buf := range d.imgBuf {
+		nd.imgBuf[i] = make([]byte, 0, cap(buf))
+	}
+	return nd
+}

@@ -43,6 +43,18 @@ func (t *Trace) MustAppend(e Event) Event {
 	return out
 }
 
+// Fork returns an independent deep copy of the trace: appends to either
+// copy never affect the other. Events are value types, so copying the
+// slice suffices.
+func (t *Trace) Fork() *Trace {
+	nt := &Trace{
+		NumProcs: t.NumProcs,
+		Events:   append([]Event(nil), t.Events...),
+		next:     append([]int(nil), t.next...),
+	}
+	return nt
+}
+
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.Events) }
 

@@ -2,7 +2,6 @@ package faults
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"failtrans/internal/apps/nvi"
@@ -28,23 +27,35 @@ var AppFaultTypes = []sim.FaultKind{
 	sim.OffByOne,
 }
 
-// oneShot fires once at the n'th visit of any matching fault site.
+// oneShot fires once at the n'th visit of any matching fault site. A fork
+// resuming from a prefix snapshot seeds visits with the snapshot's count so
+// the fault fires at the same absolute visit as a from-scratch run.
 type oneShot struct {
-	kind    sim.FaultKind
-	fireAt  int
-	visits  int
-	firedAt int // p.Steps at activation; 0 = not fired
+	kind   sim.FaultKind
+	fireAt int
+	visits int
+	// fired marks activation explicitly: firedAt records p.Steps, which
+	// can legitimately be 0 (activation on the process's first event) and
+	// so cannot double as the fired flag.
+	fired     bool
+	firedAt   int // p.Steps at activation
+	firedStep int // world step count at activation (steps-replayed metric)
 }
 
+// At is consulted at every fault-site visit of every injection run.
+//
+//failtrans:hotpath
 func (f *oneShot) At(p *sim.Proc, site string) sim.FaultKind {
-	if f.firedAt > 0 {
+	if f.fired {
 		return sim.NoFault
 	}
 	f.visits++
 	if f.visits < f.fireAt {
 		return sim.NoFault
 	}
+	f.fired = true
 	f.firedAt = p.Steps
+	f.firedStep = p.World.StepCount()
 	return f.kind
 }
 
@@ -102,6 +113,17 @@ type AppStudy struct {
 	// stopping at exactly the run the serial loop would have (see
 	// internal/campaign).
 	Parallel int
+	// Snapshots serves injection runs from a prefix-snapshot cache: one
+	// template run per study executes the clean session, capturing world
+	// snapshots keyed by fault-site visit count; each injection run forks
+	// the snapshot below its fire point and resumes, skipping the clean
+	// prefix. Results are byte-identical to the from-scratch loop.
+	Snapshots bool
+	// WallClock, if set, supplies wall-clock nanoseconds for the fork
+	// latency histogram. It is injected by the bench/cmd layers; the
+	// deterministic core this study belongs to cannot call time.Now
+	// itself.
+	WallClock func() int64
 	// CampaignObs, if non-nil, receives per-worker campaign counters.
 	CampaignObs *obs.CampaignMetrics
 	// CampaignTracer, if non-nil, receives one progress span per fault
@@ -119,6 +141,7 @@ func NewAppStudy(app string) *AppStudy {
 		Policy:         protocol.CPVS,
 		Seed:           1,
 		SessionLen:     400,
+		Snapshots:      true,
 	}
 }
 
@@ -161,10 +184,51 @@ func (s *AppStudy) cleanOutputs(seed int64) ([]string, error) {
 	return w.Outputs[0], nil
 }
 
-// RunOne executes a single injection run: arm the fault at a point derived
-// from injSeed (the workload session itself is fixed by the study seed),
-// run under the study protocol, record the timeline, then (for crashes)
-// re-run end-to-end with recovery enabled and the fault suppressed.
+// fireAtFor derives the injection run's fire point (in fault-site visits)
+// from its injection seed.
+func (s *AppStudy) fireAtFor(injSeed int64) int {
+	r := newSplitmix(injSeed ^ 0x5deece66d)
+	return 5 + r.Intn(s.SessionLen/2)
+}
+
+// noteReplay accounts one activated run's re-executed clean prefix: the
+// steps from the run's resume point (0 from scratch, the snapshot's step
+// count for a fork) to fault activation.
+func (s *AppStudy) noteReplay(inj *oneShot, baseSteps int) {
+	if s.CampaignObs == nil || !inj.fired {
+		return
+	}
+	s.CampaignObs.Snapshot.AddReplay(inj.firedStep - baseSteps)
+}
+
+// finishRun classifies a completed injection run (everything but the
+// end-to-end recovery check, which needs a second run).
+func (s *AppStudy) finishRun(w *sim.World, inj *oneShot, commits []int, clean []string) RunResult {
+	var res RunResult
+	p := w.Procs[0]
+	if !inj.fired {
+		return res // fault never activated: discard
+	}
+	res.Timeline = recovery.FaultTimeline{
+		Commits:    commits,
+		Activation: inj.firedAt,
+		Crash:      p.Steps,
+	}
+	if !p.Dead() {
+		// Completed despite the fault: silent wrong output?
+		res.WrongOutput = !equalOutputs(w.Outputs[0], clean)
+		return res
+	}
+	res.Crashed = true
+	res.Violation = res.Timeline.CommitAfterActivation()
+	return res
+}
+
+// RunOne executes a single injection run from scratch: arm the fault at a
+// point derived from injSeed (the workload session itself is fixed by the
+// study seed), run under the study protocol, record the timeline, then
+// (for crashes) re-run end-to-end with recovery enabled and the fault
+// suppressed.
 func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (RunResult, error) {
 	var res RunResult
 	w, err := s.buildWorld(s.Seed)
@@ -172,8 +236,7 @@ func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (Ru
 		return res, err
 	}
 	w.RecordTrace = false
-	r := rand.New(rand.NewSource(injSeed ^ 0x5deece66d))
-	inj := &oneShot{kind: kind, fireAt: 5 + r.Intn(s.SessionLen/2)}
+	inj := &oneShot{kind: kind, fireAt: s.fireAtFor(injSeed)}
 	w.Faults = inj
 	d := dc.New(w, s.Policy, stablestore.Rio)
 	d.DisableRecovery = true
@@ -188,23 +251,11 @@ func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (Ru
 	if err := w.Run(); err != nil {
 		return res, err
 	}
-	p := w.Procs[0]
-	if inj.firedAt == 0 {
-		return res, nil // fault never activated: discard
+	s.noteReplay(inj, 0)
+	res = s.finishRun(w, inj, commits, clean)
+	if res.Crashed {
+		res.Recovered = s.endToEnd(kind, inj.fireAt)
 	}
-	res.Timeline = recovery.FaultTimeline{
-		Commits:    commits,
-		Activation: inj.firedAt,
-		Crash:      p.Steps,
-	}
-	if !p.Dead() {
-		// Completed despite the fault: silent wrong output?
-		res.WrongOutput = !equalOutputs(w.Outputs[0], clean)
-		return res, nil
-	}
-	res.Crashed = true
-	res.Violation = res.Timeline.CommitAfterActivation()
-	res.Recovered = s.endToEnd(kind, inj.fireAt)
 	return res, nil
 }
 
@@ -238,6 +289,7 @@ func (s *AppStudy) endToEnd(kind sim.FaultKind, fireAt int) bool {
 	if err := w.Run(); err != nil {
 		return false
 	}
+	s.noteReplay(inj, 0)
 	return w.AllDone()
 }
 
@@ -268,12 +320,21 @@ func (s *AppStudy) campaignConfig(phase string) campaign.Config {
 // fault type fan out over s.Parallel workers; because each run builds a
 // fresh world from (kind, injSeed) alone and results are accepted in
 // serial run order with the same early exit, the aggregate is
-// byte-identical to the serial loop's.
+// byte-identical to the serial loop's. With Snapshots set, one template
+// run's prefix-snapshot cache serves every injection run of every fault
+// type (the clean prefix is fault-type-independent); the cache is
+// immutable once built, so parallel workers fork it freely.
 func (s *AppStudy) Run() ([]TypeResult, error) {
 	var out []TypeResult
 	clean, err := s.cleanOutputs(s.Seed)
 	if err != nil {
 		return nil, err
+	}
+	var cache *prefixCache
+	if s.Snapshots {
+		if cache, err = s.buildPrefixCache(); err != nil {
+			return nil, err
+		}
 	}
 	for _, kind := range AppFaultTypes {
 		kind := kind
@@ -282,7 +343,11 @@ func (s *AppStudy) Run() ([]TypeResult, error) {
 			func(run int) (RunResult, error) {
 				// The workload session is fixed by the study seed; only
 				// the injection point varies.
-				return s.RunOne(kind, s.Seed*100000+int64(run), clean)
+				injSeed := s.Seed*100000 + int64(run)
+				if cache != nil {
+					return s.runOneSnap(kind, injSeed, clean, cache)
+				}
+				return s.RunOne(kind, injSeed, clean)
 			},
 			func(run int, res RunResult) bool {
 				tr.Runs++

@@ -2,7 +2,6 @@ package faults
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -74,15 +73,18 @@ func NewOSStudy(app string) *OSStudy {
 // the kernel fault window is open — a buggy kernel writing through a wild
 // pointer into user pages. It fires at the application's next fault site.
 type memoryScribble struct {
-	armed   bool
-	firedAt int
+	armed bool
+	// fired marks the scribble explicitly: the step at which it lands can
+	// legitimately be 0, so a recorded step cannot double as the flag.
+	fired bool
 }
 
+//failtrans:hotpath
 func (m *memoryScribble) At(p *sim.Proc, site string) sim.FaultKind {
-	if !m.armed || m.firedAt > 0 {
+	if !m.armed || m.fired {
 		return sim.NoFault
 	}
-	m.firedAt = p.Steps
+	m.fired = true
 	return sim.HeapBitFlip
 }
 
@@ -102,7 +104,7 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 	// exposure is therefore proportional to its syscall rate within the
 	// fault window — the paper's explanation for nvi propagating 4x more
 	// often than postgres.
-	propRng := rand.New(rand.NewSource(injSeed ^ 0x2545f491))
+	propRng := newSplitmix(injSeed ^ 0x2545f491)
 	k.OnCorrupt = func(pid int) {
 		if propRng.Float64() < scribbleProbability {
 			scribble.armed = true
@@ -126,7 +128,7 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 	if err != nil {
 		return false, false, false, err
 	}
-	r := rand.New(rand.NewSource(injSeed))
+	r := newSplitmix(injSeed)
 	injectAt := time.Duration(float64(cleanDur) * (0.05 + 0.9*r.Float64()))
 	window := osFaultWindow[kind]
 	injected := false
@@ -141,12 +143,13 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 		if !injected && w.Clock >= injectAt {
 			injected = true
 			k.InjectFault(0, window)
+			o.noteOSReplay(w.StepCount())
 		}
 	}
 	if !injected || crashes == 0 {
 		return false, false, k.FaultCorrupted(0), nil
 	}
-	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.firedAt > 0, nil
+	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.fired, nil
 }
 
 // cleanDuration measures the fault-free run's virtual duration, once. A
@@ -172,12 +175,21 @@ func (o *OSStudy) cleanDuration() (time.Duration, error) {
 
 // Run executes the OS study for every fault type, fanning injection runs
 // out over o.Parallel workers with the same ordered-acceptance guarantee
-// as AppStudy.Run.
+// as AppStudy.Run. With Snapshots set, one template run's clock-keyed
+// prefix-snapshot cache serves every injection run of every fault type
+// (the clean prefix is fault-type-independent).
 func (o *OSStudy) Run() ([]OSTypeResult, error) {
 	// Measure the clean duration before spawning workers so the first
 	// parallel batch doesn't serialize behind the sync.Once anyway.
 	if _, err := o.cleanDuration(); err != nil {
 		return nil, err
+	}
+	var cache *prefixCache
+	if o.Snapshots {
+		var err error
+		if cache, err = o.buildOSPrefixCache(); err != nil {
+			return nil, err
+		}
 	}
 	var out []OSTypeResult
 	for _, kind := range AppFaultTypes {
@@ -188,7 +200,12 @@ func (o *OSStudy) Run() ([]OSTypeResult, error) {
 		}
 		err := campaign.Run(o.campaignConfig("table2/"+o.App+"/"+kind.String()), o.MaxRunsPerType,
 			func(run int) (osRun, error) {
-				crashed, recovered, propagated, err := o.RunOne(kind, o.Seed*77777+int64(run))
+				injSeed := o.Seed*77777 + int64(run)
+				if cache != nil {
+					crashed, recovered, propagated, err := o.runOneSnap(kind, injSeed, cache)
+					return osRun{crashed, recovered, propagated}, err
+				}
+				crashed, recovered, propagated, err := o.RunOne(kind, injSeed)
 				return osRun{crashed, recovered, propagated}, err
 			},
 			func(run int, r osRun) bool {

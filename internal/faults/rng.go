@@ -1,0 +1,26 @@
+package faults
+
+// splitmix is a tiny seeded-derivation generator (splitmix64, Steele et
+// al.) for deriving per-run injection parameters from an injection seed.
+// It replaces per-run rand.New(rand.NewSource(...)) pairs, which allocate
+// a full Go 1 generator (~5 KB of source state) for the one or two draws a
+// campaign run needs.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed int64) splitmix { return splitmix{state: uint64(seed)} }
+
+// Next returns the next 64-bit value of the stream.
+func (s *splitmix) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). The modulo bias is ~n/2^64 — irrelevant
+// for deriving injection points; what matters is determinism per seed.
+func (s *splitmix) Intn(n int) int { return int(s.Next() % uint64(n)) }
+
+// Float64 returns a value in [0, 1) with 53 bits of precision.
+func (s *splitmix) Float64() float64 { return float64(s.Next()>>11) / (1 << 53) }

@@ -1,0 +1,368 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"failtrans/internal/dc"
+	"failtrans/internal/kernel"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+)
+
+// This file is the campaign-side consumer of the sim snapshot/fork engine:
+// a prefix-snapshot cache. Every injection run of a study executes the
+// same clean session — fixed by the study seed — up to its injection
+// point; only the injection point varies. One template run per study
+// executes that clean session once, capturing world snapshots along the
+// way; each injection run then forks the deepest snapshot strictly before
+// its injection point and resumes, re-executing only the prefix tail
+// instead of the whole prefix.
+//
+// Byte-identity argument: a snapshot is taken at a step boundary of a
+// template configured exactly as an injection run is before its fault
+// activates (same world seed, same DC policy and flags; the injector
+// differences are invisible before activation — Ctx.Fault records no
+// event, and both the template's visit counter and an unfired one-shot
+// return NoFault with no other side effect). World.Fork reproduces the
+// complete simulation state, so the forked run's remaining execution is
+// step-for-step the from-scratch run's. The one piece of prefix history a
+// fork cannot regenerate — the commit positions its Timeline must report —
+// is stored in the snapshot and prepended.
+//
+// The cache is immutable once built; PR 3's parallel campaign workers fork
+// it concurrently without locking (Fork only reads the template).
+
+// snapshotEveryVisits spaces AppStudy snapshots in fault-site visits (the
+// unit fire points are expressed in).
+const snapshotEveryVisits = 8
+
+// osSnapshotSlices divides the OS study's clean duration into this many
+// snapshot intervals (injection points are drawn in virtual time).
+const osSnapshotSlices = 64
+
+// visitCounter counts fault-site visits without ever firing — the
+// template's stand-in for an injection run's not-yet-fired injector.
+type visitCounter struct{ visits int }
+
+//failtrans:hotpath
+func (v *visitCounter) At(p *sim.Proc, site string) sim.FaultKind {
+	v.visits++
+	return sim.NoFault
+}
+
+// prefixSnapshot is one memoized point of the clean session.
+type prefixSnapshot struct {
+	// visits is the fault-site visit count completed before the snapshot
+	// (AppStudy lookups); clock is the virtual time reached (OSStudy
+	// lookups); steps is the world step count — what a fork saves.
+	visits int
+	clock  time.Duration
+	steps  int
+	// commits holds the commit positions the template recorded up to this
+	// point; forks prepend it so their timelines cover the whole run.
+	commits []int
+	// world is the quiescent deep copy injection runs fork from. It is
+	// never stepped.
+	world *sim.World
+}
+
+// prefixCache is one study's snapshot sequence, in capture order (so
+// visits and clock are both nondecreasing).
+type prefixCache struct {
+	snaps []prefixSnapshot
+}
+
+// byVisits returns the deepest snapshot strictly before the given fire
+// point. Strictly: a one-shot injector seeded with the snapshot's visit
+// count must still have the firing visit ahead of it. The baseline
+// snapshot (visits 0, taken before the first step) matches every fire
+// point, so there is always a hit.
+//
+//failtrans:hotpath
+func (c *prefixCache) byVisits(fireAt int) *prefixSnapshot {
+	best := &c.snaps[0]
+	for i := range c.snaps {
+		if c.snaps[i].visits < fireAt {
+			best = &c.snaps[i]
+		}
+	}
+	return best
+}
+
+// byClock returns the deepest snapshot strictly before the given virtual
+// injection time. Strictly: the injection check runs at every post-step
+// boundary after the fork, and every pre-snapshot boundary had
+// Clock <= snap.clock < injectAt, so the fork injects at the same boundary
+// the from-scratch loop does.
+//
+//failtrans:hotpath
+func (c *prefixCache) byClock(injectAt time.Duration) *prefixSnapshot {
+	best := &c.snaps[0]
+	for i := range c.snaps {
+		if c.snaps[i].clock < injectAt {
+			best = &c.snaps[i]
+		}
+	}
+	return best
+}
+
+// capture forks the running template into a new snapshot.
+func (c *prefixCache) capture(s *AppStudy, w *sim.World, visits int, commits []int) error {
+	fw, err := w.Fork()
+	if err != nil {
+		return err
+	}
+	c.snaps = append(c.snaps, prefixSnapshot{
+		visits:  visits,
+		clock:   w.Clock,
+		steps:   w.StepCount(),
+		commits: append([]int(nil), commits...),
+		world:   fw,
+	})
+	if s.CampaignObs != nil {
+		s.CampaignObs.Snapshot.AddSnapshot()
+	}
+	return nil
+}
+
+// forkSnap serves one injection run from a snapshot: a fresh world plus
+// its recovery layer, with fork latency and steps saved accounted.
+func (s *AppStudy) forkSnap(snap *prefixSnapshot) (*sim.World, *dc.DC, error) {
+	var start int64
+	if s.WallClock != nil {
+		start = s.WallClock()
+	}
+	w, err := snap.world.Fork()
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.CampaignObs != nil {
+		ns := int64(-1)
+		if s.WallClock != nil {
+			ns = s.WallClock() - start
+		}
+		s.CampaignObs.Snapshot.AddFork(snap.steps, ns)
+	}
+	d, ok := w.Recovery.(*dc.DC)
+	if !ok {
+		return nil, nil, fmt.Errorf("faults: forked recovery is %T, want *dc.DC", w.Recovery)
+	}
+	return w, d, nil
+}
+
+// buildPrefixCache runs the Table 1 template: the clean session under the
+// study's exact injection-run configuration, snapshotted every
+// snapshotEveryVisits fault-site visits. The template stops once every
+// possible fire point is behind it.
+func (s *AppStudy) buildPrefixCache() (*prefixCache, error) {
+	w, err := s.buildWorld(s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w.RecordTrace = false
+	vc := &visitCounter{}
+	w.Faults = vc
+	d := dc.New(w, s.Policy, stablestore.Rio)
+	d.DisableRecovery = true
+	d.CheckBeforeCommit = s.CheckBeforeCommit
+	var commits []int
+	d.CommitHook = func(p *sim.Proc, label string) {
+		commits = append(commits, p.Steps)
+	}
+	if err := d.Attach(); err != nil {
+		return nil, err
+	}
+	cache := &prefixCache{}
+	if err := cache.capture(s, w, vc.visits, commits); err != nil {
+		return nil, err
+	}
+	// fireAtFor draws from [5, 4+SessionLen/2]; past that visit count no
+	// injector can still fire, so deeper snapshots would serve nobody.
+	horizon := 4 + s.SessionLen/2
+	last := 0
+	for vc.visits < horizon {
+		more, err := w.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if vc.visits >= last+snapshotEveryVisits {
+			if err := cache.capture(s, w, vc.visits, commits); err != nil {
+				return nil, err
+			}
+			last = vc.visits
+		}
+	}
+	return cache, nil
+}
+
+// runOneSnap is RunOne served from the prefix cache: fork the deepest
+// snapshot before the fire point, arm a one-shot injector seeded with the
+// snapshot's visit count, and resume. Byte-identical to RunOne for the
+// same (kind, injSeed).
+func (s *AppStudy) runOneSnap(kind sim.FaultKind, injSeed int64, clean []string, cache *prefixCache) (RunResult, error) {
+	var res RunResult
+	fireAt := s.fireAtFor(injSeed)
+	snap := cache.byVisits(fireAt)
+	w, d, err := s.forkSnap(snap)
+	if err != nil {
+		return res, err
+	}
+	inj := &oneShot{kind: kind, fireAt: fireAt, visits: snap.visits}
+	w.Faults = inj
+	commits := append([]int(nil), snap.commits...)
+	d.CommitHook = func(p *sim.Proc, label string) {
+		commits = append(commits, p.Steps)
+	}
+	if err := w.Run(); err != nil {
+		return res, err
+	}
+	s.noteReplay(inj, snap.steps)
+	res = s.finishRun(w, inj, commits, clean)
+	if res.Crashed {
+		res.Recovered = s.endToEndSnap(kind, inj.fireAt, cache)
+	}
+	return res, nil
+}
+
+// endToEndSnap is endToEnd served from the same cache: the clean prefix is
+// identical with recovery enabled or disabled (the flags only matter after
+// a crash, and the prefix has none), so the fork just flips the flag on.
+func (s *AppStudy) endToEndSnap(kind sim.FaultKind, fireAt int, cache *prefixCache) bool {
+	snap := cache.byVisits(fireAt)
+	w, d, err := s.forkSnap(snap)
+	if err != nil {
+		return false
+	}
+	inj := &oneShot{kind: kind, fireAt: fireAt, visits: snap.visits}
+	w.Faults = inj
+	d.DisableRecovery = false
+	crashes := 0
+	d.RecoveryHook = func(p *sim.Proc, reason string) {
+		crashes++
+		if crashes > 3 {
+			// Crash-looping: the committed state re-triggers the
+			// failure every time. Give up, as an operator would.
+			d.DisableRecovery = true
+		}
+	}
+	if err := w.Run(); err != nil {
+		return false
+	}
+	s.noteReplay(inj, snap.steps)
+	return w.AllDone()
+}
+
+// buildOSPrefixCache runs the Table 2 template: the clean session under a
+// recovery-enabled DC (the OS study's injection-run configuration),
+// snapshotted every 1/osSnapshotSlices of the clean duration. An unarmed
+// scribble injector and no injector at all are indistinguishable before
+// injection, so the template attaches none.
+func (o *OSStudy) buildOSPrefixCache() (*prefixCache, error) {
+	cleanDur, err := o.cleanDuration()
+	if err != nil {
+		return nil, err
+	}
+	w, err := o.buildWorld(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w.RecordTrace = false
+	d := dc.New(w, o.Policy, stablestore.Rio)
+	if err := d.Attach(); err != nil {
+		return nil, err
+	}
+	cache := &prefixCache{}
+	if err := cache.capture(o.AppStudy, w, 0, nil); err != nil {
+		return nil, err
+	}
+	// Injection times are drawn from [0.05, 0.95) of the clean duration;
+	// snapshots past the draw ceiling would serve nobody.
+	horizon := time.Duration(0.95 * float64(cleanDur))
+	interval := cleanDur / osSnapshotSlices
+	if interval <= 0 {
+		interval = 1
+	}
+	nextAt := w.Clock + interval
+	for w.Clock < horizon {
+		more, err := w.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if w.Clock >= nextAt {
+			if err := cache.capture(o.AppStudy, w, 0, nil); err != nil {
+				return nil, err
+			}
+			nextAt = w.Clock + interval
+		}
+	}
+	return cache, nil
+}
+
+// runOneSnap is OSStudy.RunOne served from the prefix cache: fork the
+// deepest snapshot before the injection time and resume the injection
+// loop. Byte-identical to RunOne for the same (kind, injSeed).
+func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCache) (crashed, recovered, propagated bool, err error) {
+	cleanDur, err := o.cleanDuration()
+	if err != nil {
+		return false, false, false, err
+	}
+	r := newSplitmix(injSeed)
+	injectAt := time.Duration(float64(cleanDur) * (0.05 + 0.9*r.Float64()))
+	snap := cache.byClock(injectAt)
+	w, d, err := o.forkSnap(snap)
+	if err != nil {
+		return false, false, false, err
+	}
+	k := w.OS.(*kernel.Kernel)
+	scribble := &memoryScribble{}
+	w.Faults = scribble
+	propRng := newSplitmix(injSeed ^ 0x2545f491)
+	k.OnCorrupt = func(pid int) {
+		if propRng.Float64() < scribbleProbability {
+			scribble.armed = true
+		}
+	}
+	crashes := 0
+	d.RecoveryHook = func(p *sim.Proc, reason string) {
+		crashes++
+		if crashes > 3 {
+			d.DisableRecovery = true // crash-looping on committed corruption
+		}
+	}
+	window := osFaultWindow[kind]
+	injected := false
+	for {
+		more, err := w.Step()
+		if err != nil {
+			return false, false, false, err
+		}
+		if !more {
+			break
+		}
+		if !injected && w.Clock >= injectAt {
+			injected = true
+			k.InjectFault(0, window)
+			o.noteOSReplay(w.StepCount() - snap.steps)
+		}
+	}
+	if !injected || crashes == 0 {
+		return false, false, k.FaultCorrupted(0), nil
+	}
+	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.fired, nil
+}
+
+// noteOSReplay accounts one injection run's re-executed clean prefix (in
+// world steps up to the injection boundary).
+func (o *OSStudy) noteOSReplay(steps int) {
+	if o.CampaignObs == nil {
+		return
+	}
+	o.CampaignObs.Snapshot.AddReplay(steps)
+}

@@ -1,0 +1,44 @@
+package kernel
+
+import (
+	"time"
+
+	"failtrans/internal/sim"
+)
+
+// ForkOS implements sim.ForkableOS: it deep-copies every node — filesystem
+// contents, open-file tables, fault window, corruption counters — into a
+// new kernel wired to the forked world's clock. The Metrics/Tracer sinks
+// and the OnCorrupt/OnPanic callbacks do not carry over: they are per-run
+// harness wiring, and the original's callbacks would observe the wrong
+// world. An open fault window forks with traced cleared, since the fork has
+// no tracer holding the matching Begin.
+func (k *Kernel) ForkOS(clock func() time.Duration) sim.OS {
+	nk := &Kernel{Clock: clock, nodes: make(map[int]*node, len(k.nodes))}
+	for pid, n := range k.nodes {
+		nn := &node{
+			fs:      make(map[string][]byte, len(n.fs)),
+			fds:     make(map[int]*fdEntry, len(n.fds)),
+			nextFD:  n.nextFD,
+			fdLimit: n.fdLimit,
+			edits:   n.edits,
+			Syscall: n.Syscall,
+		}
+		for path, data := range n.fs {
+			nn.fs[path] = append([]byte(nil), data...)
+		}
+		for fd, e := range n.fds {
+			nn.fds[fd] = &fdEntry{Path: e.Path, Offset: e.Offset}
+		}
+		if n.fault != nil {
+			nn.fault = &kernelFault{
+				start:     n.fault.start,
+				window:    n.fault.window,
+				corrupted: n.fault.corrupted,
+				panicked:  n.fault.panicked,
+			}
+		}
+		nk.nodes[pid] = nn
+	}
+	return nk
+}

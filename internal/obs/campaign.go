@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // CampaignWorkerMetrics is one campaign worker's fixed-slot counter block.
@@ -34,6 +35,74 @@ type CampaignMetrics struct {
 	Discarded  int64
 	// SerialRuns counts runs executed on the serial (single-worker) path.
 	SerialRuns int64
+
+	// Snapshot accounts the prefix-snapshot cache when a study runs with
+	// snapshots enabled.
+	Snapshot SnapshotMetrics
+}
+
+// SnapshotMetrics accounts the snapshot/fork engine's work for a campaign.
+// Unlike the per-worker counter blocks, forks are served to whichever
+// worker asks, so the counters are mutex-guarded. Fork and StepsSaved
+// totals count every fork served, including speculative overshoot runs
+// whose results were later discarded, so they vary with the worker count
+// (diagnostic, like the per-worker run distribution).
+type SnapshotMetrics struct {
+	mu sync.Mutex
+	// Snapshots counts snapshots captured from template runs.
+	Snapshots int64
+	// Forks counts worlds forked from a snapshot.
+	Forks int64
+	// StepsSaved totals the clean-prefix steps the forks did not have to
+	// re-execute (the snapshot's step count, per fork).
+	StepsSaved int64
+	// ForkLatency distributes wall-clock fork cost in nanoseconds. Only
+	// populated when the study was handed a wall clock (the deterministic
+	// core cannot read one itself).
+	ForkLatency Histogram
+	// StepsReplayed totals the clean-prefix steps injection runs actually
+	// re-executed before fault activation; InjectionRuns counts the runs
+	// (activated faults only). Both study modes update them — a
+	// from-scratch run replays its whole prefix, a fork only the tail past
+	// its snapshot — so the pair quantifies what memoization saves.
+	StepsReplayed int64
+	InjectionRuns int64
+}
+
+// AddSnapshot records one captured snapshot.
+func (s *SnapshotMetrics) AddSnapshot() {
+	s.mu.Lock()
+	s.Snapshots++
+	s.mu.Unlock()
+}
+
+// AddFork records one served fork: the steps its run did not re-execute
+// and, when ns >= 0, the wall-clock fork latency.
+func (s *SnapshotMetrics) AddFork(stepsSaved int, ns int64) {
+	s.mu.Lock()
+	s.Forks++
+	s.StepsSaved += int64(stepsSaved)
+	if ns >= 0 {
+		s.ForkLatency.Observe(ns)
+	}
+	s.mu.Unlock()
+}
+
+// AddReplay records one activated injection run that re-executed `steps`
+// clean-prefix steps before its fault fired.
+func (s *SnapshotMetrics) AddReplay(steps int) {
+	s.mu.Lock()
+	s.StepsReplayed += int64(steps)
+	s.InjectionRuns++
+	s.mu.Unlock()
+}
+
+// ReplaySnapshot returns the current replay totals (the campaign workers
+// update them concurrently).
+func (s *SnapshotMetrics) ReplaySnapshot() (stepsReplayed, injectionRuns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.StepsReplayed, s.InjectionRuns
 }
 
 // NewCampaignMetrics returns a registry with one preallocated slot per
@@ -54,6 +123,15 @@ func (c *CampaignMetrics) WriteSummary(w io.Writer) error {
 	}
 	for i := range c.Workers {
 		if _, err := fmt.Fprintf(w, "  worker %d runs=%d\n", i, c.Workers[i].Runs); err != nil {
+			return err
+		}
+	}
+	s := &c.Snapshot
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Snapshots > 0 || s.Forks > 0 {
+		if _, err := fmt.Fprintf(w, "  snapshots=%d forks=%d steps-saved=%d fork-latency-mean=%dns\n",
+			s.Snapshots, s.Forks, s.StepsSaved, s.ForkLatency.Mean()); err != nil {
 			return err
 		}
 	}

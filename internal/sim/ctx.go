@@ -163,6 +163,7 @@ func (c *Ctx) Rand() uint64 {
 	c.before(event.Internal, event.TransientND, "rand")
 	v, logged := c.ndValue("rand", func() []byte {
 		var b [8]byte
+		c.p.rngDraws++
 		binary.LittleEndian.PutUint64(b[:], c.p.rng.Uint64())
 		return b[:]
 	})

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file is the snapshot/fork engine: World.Fork deep-copies a mid-run
+// world in O(state) so fault campaigns can resume from a memoized clean
+// prefix instead of re-executing it from step zero. A forked world is fully
+// independent of the original — stepping one never changes the other — and
+// a quiescent template world may be forked concurrently from many
+// goroutines (Fork only reads the template).
+//
+// Three optional interfaces extend the protocol to pluggable components:
+// the Program, OS and Recovery attached to a world must implement their
+// respective Forkable* interface for the world to be forkable.
+
+// Forker is implemented by Programs that can produce an independent deep
+// copy of themselves. Implementations must copy every bit of state that
+// influences future Step calls; scratch buffers may be omitted.
+type Forker interface {
+	Fork() (Program, error)
+}
+
+// ForkableOS is implemented by OS implementations that can deep-copy their
+// state into a new instance. The clock callback reads the forked world's
+// virtual clock (the original's callback would read the template).
+type ForkableOS interface {
+	ForkOS(clock func() time.Duration) OS
+}
+
+// ForkableRecovery is implemented by Recovery layers that can deep-copy
+// their state against a forked world. The returned Recovery must observe w
+// (not the template world) from then on.
+type ForkableRecovery interface {
+	ForkRecovery(w *World) Recovery
+}
+
+// Fork returns an independent deep copy of the world, ready to resume from
+// the exact point the original has reached. Observability sinks (Metrics,
+// Tracer, DebugLog) and the Faults injector are NOT carried over — they are
+// per-run harness concerns; the caller re-installs what it needs. The event
+// Trace is copied when RecordTrace is set.
+//
+// Fork fails if an attached Program, OS or Recovery does not implement its
+// Forkable* interface.
+func (w *World) Fork() (*World, error) {
+	nw := &World{
+		Clock:         w.Clock,
+		Latency:       w.Latency,
+		RecordTrace:   w.RecordTrace,
+		Outputs:       make([][]string, len(w.Procs)),
+		GlobalOutputs: w.GlobalOutputs[:len(w.GlobalOutputs):len(w.GlobalOutputs)],
+		MaxTime:       w.MaxTime,
+		MaxSteps:      w.MaxSteps,
+		EventCount:    w.EventCount,
+		msgSeq:        w.msgSeq,
+		stepCount:     w.stepCount,
+		seed:          w.seed,
+		inited:        w.inited,
+	}
+	// Outputs slices are append-only; a capacity-clamped reslice shares the
+	// committed prefix copy-on-write: either side's next append reallocates.
+	for i, o := range w.Outputs {
+		nw.Outputs[i] = o[:len(o):len(o)]
+	}
+	if w.Trace != nil {
+		nw.Trace = w.Trace.Fork()
+	}
+	nw.Procs = make([]*Proc, len(w.Procs))
+	for i, p := range w.Procs {
+		np, err := p.fork(nw)
+		if err != nil {
+			return nil, err
+		}
+		nw.Procs[i] = np
+	}
+	if w.OS != nil {
+		fo, ok := w.OS.(ForkableOS)
+		if !ok {
+			return nil, fmt.Errorf("sim: attached OS %T is not forkable", w.OS)
+		}
+		nw.OS = fo.ForkOS(func() time.Duration { return nw.Clock })
+	}
+	if w.Recovery != nil {
+		fr, ok := w.Recovery.(ForkableRecovery)
+		if !ok {
+			return nil, fmt.Errorf("sim: attached recovery %T is not forkable", w.Recovery)
+		}
+		nw.Recovery = fr.ForkRecovery(nw)
+	}
+	return nw, nil
+}
+
+// fork deep-copies the process into world nw. Messages are immutable once
+// enqueued (every mutation path copies first), so inbox/retained/replay
+// entries share *Msg pointers with the template.
+func (p *Proc) fork(nw *World) (*Proc, error) {
+	fp, ok := p.Prog.(Forker)
+	if !ok {
+		return nil, fmt.Errorf("sim: program %T (%s) is not forkable", p.Prog, p.Prog.Name())
+	}
+	prog, err := fp.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork program %s: %w", p.Prog.Name(), err)
+	}
+	np := &Proc{
+		Index:       p.Index,
+		Prog:        prog,
+		World:       nw,
+		status:      p.status,
+		wake:        p.wake,
+		inbox:       append([]*Msg(nil), p.inbox...),
+		retained:    append([]retainedMsg(nil), p.retained...),
+		retainBase:  p.retainBase,
+		replayQueue: append([]retainedMsg(nil), p.replayQueue...),
+		rngSeed:     p.rngSeed,
+		rngDraws:    p.rngDraws,
+		Steps:       p.Steps,
+		Crashes:     p.Crashes,
+		InputCursor: p.InputCursor,
+		SendSeq:     p.SendSeq,
+		RecvHW:      make(map[int]int64, len(p.RecvHW)),
+		stops:       append([]int(nil), p.stops...),
+		signals:     append([]pendingSignal(nil), p.signals...),
+		dead:        p.dead,
+		inboxMin:    p.inboxMin,
+		inboxMinOK:  p.inboxMinOK,
+	}
+	for k, v := range p.RecvHW {
+		np.RecvHW[k] = v
+	}
+	// rand.Rand state cannot be copied; reseed and fast-forward the same
+	// number of draws to reach the identical point in the stream. Study
+	// workloads never call Ctx.Rand, so this is free in campaigns.
+	np.rng = rand.New(rand.NewSource(p.rngSeed))
+	for i := int64(0); i < p.rngDraws; i++ {
+		np.rng.Uint64()
+	}
+	np.ctx = newCtx(np)
+	np.ctx.Inputs = p.ctx.Inputs // scripted input is immutable
+	return np, nil
+}

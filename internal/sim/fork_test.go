@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// rngCounter emits outputs derived from the process rng — the one piece of
+// Proc state a fork cannot copy directly (rand.Rand hides its state) and
+// must instead reseed and fast-forward.
+type rngCounter struct {
+	counter
+}
+
+func (r *rngCounter) Fork() (Program, error) {
+	nr := &rngCounter{counter: r.counter}
+	return nr, nil
+}
+
+func (r *rngCounter) Step(ctx *Ctx) Status {
+	if r.Done >= r.N {
+		return Done
+	}
+	ctx.Compute(time.Millisecond)
+	ctx.Output(fmt.Sprintf("tick %d rand %d", r.Done, ctx.Rand()%1000))
+	r.Done++
+	return Ready
+}
+
+// runToStep inits the world, then steps until its step count reaches n or
+// it finishes. (Forking an uninitialized world is not meaningful: the
+// fork's Run would re-run Init mid-stream.)
+func runToStep(t *testing.T, w *World, n int) {
+	t.Helper()
+	if err := w.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for w.StepCount() < n {
+		more, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// finish runs the world to completion.
+func finish(t *testing.T, w *World) {
+	t.Helper()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func outputsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestForkContinuationIdentical is the fork engine's core promise: a world
+// forked mid-run and resumed produces byte-for-byte the outputs of the
+// uninterrupted run, including rng draws past the fork point.
+func TestForkContinuationIdentical(t *testing.T) {
+	ref := NewWorld(42, &rngCounter{counter{N: 20}})
+	finish(t, ref)
+	want := ref.Outputs[0]
+
+	w := NewWorld(42, &rngCounter{counter{N: 20}})
+	runToStep(t, w, 10)
+	fw, err := w.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(t, fw)
+	if !outputsEqual(fw.Outputs[0], want) {
+		t.Errorf("forked continuation diverged:\n got %v\nwant %v", fw.Outputs[0], want)
+	}
+	if fw.Clock != ref.Clock {
+		t.Errorf("forked clock = %v, want %v", fw.Clock, ref.Clock)
+	}
+	if fw.StepCount() != ref.StepCount() {
+		t.Errorf("forked steps = %d, want %d", fw.StepCount(), ref.StepCount())
+	}
+}
+
+// TestForkIsolation: stepping the original never changes the fork and vice
+// versa, and one quiescent world can serve multiple forks that each run to
+// the same completion.
+func TestForkIsolation(t *testing.T) {
+	ref := NewWorld(7, &rngCounter{counter{N: 16}})
+	finish(t, ref)
+	want := ref.Outputs[0]
+
+	w := NewWorld(7, &rngCounter{counter{N: 16}})
+	runToStep(t, w, 8)
+	f1, err := w.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the first fork to completion BEFORE forking again: if forks
+	// shared mutable state with the template, the second fork would see it.
+	finish(t, f1)
+	f2, err := w.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(t, f2)
+	finish(t, w)
+	for name, got := range map[string][]string{
+		"fork1": f1.Outputs[0], "fork2": f2.Outputs[0], "original": w.Outputs[0],
+	} {
+		if !outputsEqual(got, want) {
+			t.Errorf("%s diverged:\n got %v\nwant %v", name, got, want)
+		}
+	}
+}
+
+// TestForkUnforkableProgram: a program without a Fork method is a clear
+// error, not a shallow copy.
+func TestForkUnforkableProgram(t *testing.T) {
+	w := NewWorld(1, &counter{N: 3})
+	if _, err := w.Fork(); err == nil {
+		t.Error("forking a non-Forker program must error")
+	}
+}
+
+// TestForkOutputsCopyOnWrite: the fork shares the committed output prefix
+// with the template, but appends on either side must not bleed across.
+func TestForkOutputsCopyOnWrite(t *testing.T) {
+	w := NewWorld(3, &rngCounter{counter{N: 12}})
+	runToStep(t, w, 6)
+	prefix := append([]string(nil), w.Outputs[0]...)
+	fw, err := w.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(t, w) // template appends first...
+	finish(t, fw)
+	if !outputsEqual(fw.Outputs[0][:len(prefix)], prefix) {
+		t.Errorf("fork's committed prefix changed: %v", fw.Outputs[0][:len(prefix)])
+	}
+	if !outputsEqual(fw.Outputs[0], w.Outputs[0]) {
+		t.Errorf("fork and template finished differently:\n got %v\nwant %v",
+			fw.Outputs[0], w.Outputs[0])
+	}
+}

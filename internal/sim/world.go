@@ -47,6 +47,11 @@ type Proc struct {
 	replayQueue []retainedMsg
 
 	rng *rand.Rand
+	// rngSeed and rngDraws make the rng forkable: a fork reseeds a fresh
+	// generator and fast-forwards rngDraws draws to reach the same point
+	// in the stream (rand.Rand state is not otherwise copyable).
+	rngSeed  int64
+	rngDraws int64
 
 	// Steps counts event positions on this process; fault timelines and
 	// protocol bookkeeping are expressed in this counter.
@@ -201,12 +206,14 @@ func NewWorld(seed int64, progs ...Program) *World {
 		seed:        seed,
 	}
 	for i, prog := range progs {
+		procSeed := seed ^ (int64(i)+1)*0x5851f42d4c957f2d
 		p := &Proc{
-			Index:  i,
-			Prog:   prog,
-			World:  w,
-			rng:    rand.New(rand.NewSource(seed ^ (int64(i)+1)*0x5851f42d4c957f2d)),
-			RecvHW: make(map[int]int64),
+			Index:   i,
+			Prog:    prog,
+			World:   w,
+			rng:     rand.New(rand.NewSource(procSeed)),
+			rngSeed: procSeed,
+			RecvHW:  make(map[int]int64),
 		}
 		p.ctx = newCtx(p)
 		w.Procs = append(w.Procs, p)
@@ -536,6 +543,10 @@ func (w *World) Run() error {
 		}
 	}
 }
+
+// StepCount returns the number of scheduling decisions executed so far —
+// the unit the snapshot engine's steps-saved accounting is expressed in.
+func (w *World) StepCount() int { return w.stepCount }
 
 // AllDone reports whether every process ran to completion.
 func (w *World) AllDone() bool {

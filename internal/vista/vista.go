@@ -383,6 +383,31 @@ func (s *Segment) AppendContents(buf []byte) []byte {
 	return append(buf, s.mem...)
 }
 
+// Fork returns an independent deep copy of the segment, mid-transaction
+// state included: memory image, undo log (with copied before-images — the
+// original pools and reuses its page buffers), dirty set and hash cache all
+// carry over, so a rollback of either copy behaves identically. The buffer
+// pool and Metrics sink do not carry over (the fork warms its own pool;
+// observability is per-run).
+func (s *Segment) Fork() *Segment {
+	ns := &Segment{
+		pageSize:    s.pageSize,
+		mem:         append([]byte(nil), s.mem...),
+		undo:        make([]undoRec, len(s.undo)),
+		dirty:       append(pageBitset(nil), s.dirty...),
+		nDirty:      s.nDirty,
+		savedReg:    append([]byte(nil), s.savedReg...),
+		pageHash:    append([]uint64(nil), s.pageHash...),
+		hashValid:   append(pageBitset(nil), s.hashValid...),
+		CommitCount: s.CommitCount,
+		LoggedBytes: s.LoggedBytes,
+	}
+	for i, rec := range s.undo {
+		ns.undo[i] = undoRec{page: rec.page, data: append([]byte(nil), rec.data...)}
+	}
+	return ns
+}
+
 // DirtyPages returns how many pages have been touched since the last
 // commit.
 func (s *Segment) DirtyPages() int { return s.nDirty }
