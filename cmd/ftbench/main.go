@@ -45,6 +45,7 @@ func main() {
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count (1 = serial; results are identical either way)")
 	snapshots := flag.Bool("snapshots", true, "serve table1/table2 injection runs from a prefix-snapshot cache (results are identical either way)")
+	cow := flag.Bool("cow", true, "fork snapshot templates copy-on-write instead of deep-copying (results are identical either way)")
 	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this path")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -152,7 +153,7 @@ func main() {
 	}
 	if want("table1") {
 		run("table1", func() error {
-			res, err := bench.Table1(*crashes, *parallel, *snapshots, campObs)
+			res, err := bench.Table1(*crashes, *parallel, *snapshots, *cow, campObs)
 			if err != nil {
 				return err
 			}
@@ -163,7 +164,7 @@ func main() {
 	}
 	if want("table2") {
 		run("table2", func() error {
-			res, err := bench.Table2(*crashes, *parallel, *snapshots, campObs)
+			res, err := bench.Table2(*crashes, *parallel, *snapshots, *cow, campObs)
 			if err != nil {
 				return err
 			}

@@ -104,8 +104,47 @@ func (d *Dec) Bytes() []byte {
 	return out
 }
 
+// BytesInto reads a length-prefixed byte slice into dst's backing array,
+// reallocating only when dst is too small — the reuse form of Bytes for
+// restore paths that decode into long-lived buffers every rollback.
+func (d *Dec) BytesInto(dst []byte) []byte {
+	n := d.Int()
+	if n < 0 || !d.need(n) {
+		if d.Err == nil {
+			d.Err = fmt.Errorf("apputil: negative length %d", n)
+		}
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	copy(dst, d.B[d.pos:])
+	d.pos += n
+	return dst
+}
+
 // Str reads a length-prefixed string.
 func (d *Dec) Str() string { return string(d.Bytes()) }
+
+// StrReuse reads a length-prefixed string, returning cur itself when the
+// decoded bytes match it — strings like filenames rarely change between
+// checkpoints, so the steady-state restore allocates nothing for them.
+func (d *Dec) StrReuse(cur string) string {
+	n := d.Int()
+	if n < 0 || !d.need(n) {
+		if d.Err == nil {
+			d.Err = fmt.Errorf("apputil: negative length %d", n)
+		}
+		return ""
+	}
+	b := d.B[d.pos : d.pos+n]
+	d.pos += n
+	if string(b) == cur { // compiler-recognized comparison: no allocation
+		return cur
+	}
+	return string(b)
+}
 
 // Byte reads one raw byte.
 func (d *Dec) Byte() byte {

@@ -105,6 +105,18 @@ type Editor struct {
 	// maintenance in the same apply step, so the corruption is latent
 	// (set and consumed within one step; no checkpoint can interleave).
 	pendingFlip bool
+
+	// frozen marks a sealed fork template (sim.Freezer): the editor will
+	// never be stepped again, so Fork hands out its buffers for
+	// structural sharing instead of deep-copying them.
+	frozen bool
+	// linesShared / undoShared mark Lines+LineSums / UndoLines+UndoSums
+	// as aliasing a frozen template's buffers; every in-place mutation
+	// privatizes first (the buffer-modifying commands all pass through
+	// snapshotUndo, the heap-flip fault and the restore path are guarded
+	// explicitly). Runtime bookkeeping, never marshaled.
+	linesShared bool
+	undoShared  bool
 }
 
 // New returns an editor whose session will edit `filename` with the given
@@ -127,29 +139,69 @@ func New(filename string, contents []string) *Editor {
 
 func (e *Editor) setLineSum(i int) { e.LineSums[i] = apputil.Checksum(e.Lines[i]) }
 
-// Fork implements sim.Forker: an independent deep copy of the editor.
-// Unlike a MarshalState round trip it never touches the receiver (no shared
-// encBuf), so a quiescent template editor may be forked from many
-// goroutines at once.
+// Freeze implements sim.Freezer: it seals the editor as an immutable fork
+// template. A frozen editor must never be stepped again; its buffers are
+// handed to forks read-only and privatized by each fork on first mutation.
+func (e *Editor) Freeze() { e.frozen = true }
+
+// Fork implements sim.Forker: an independent copy of the editor. Unlike a
+// MarshalState round trip it never touches the receiver (no shared encBuf,
+// no flag writes), so a quiescent template editor may be forked from many
+// goroutines at once. A frozen template shares its line buffers with the
+// fork (copy-on-write, O(header) instead of O(document)); an unfrozen
+// editor deep-copies.
 func (e *Editor) Fork() (sim.Program, error) {
 	ne := *e
-	ne.Lines = forkLines(e.Lines)
+	if e.frozen {
+		ne.linesShared = true
+		ne.undoShared = true
+	} else {
+		ne.Lines = forkLines(e.Lines)
+		ne.UndoLines = forkLines(e.UndoLines)
+		ne.UndoSums = append([]uint32(nil), e.UndoSums...)
+		ne.LineSums = append([]uint32(nil), e.LineSums...)
+	}
 	ne.ExBuf = append([]byte(nil), e.ExBuf...)
-	ne.UndoLines = forkLines(e.UndoLines)
-	ne.UndoSums = append([]uint32(nil), e.UndoSums...)
-	ne.LineSums = append([]uint32(nil), e.LineSums...)
 	ne.encBuf = nil
+	ne.frozen = false
 	return &ne, nil
 }
 
+// privatizeLines unshares the working buffer from a frozen template before
+// an in-place mutation that bypasses snapshotUndo (the heap-flip fault).
+// Lines and LineSums share one flag, so both privatize together.
+func (e *Editor) privatizeLines() {
+	if !e.linesShared {
+		return
+	}
+	e.Lines = forkLines(e.Lines)
+	e.LineSums = append([]uint32(nil), e.LineSums...)
+	e.linesShared = false
+}
+
 // forkLines deep-copies a line buffer (line bytes are edited in place).
+// All lines are packed into one arena allocation — two allocations per
+// fork instead of one per line. Each line's capacity is clamped to its
+// length, so growing a line reallocates it privately instead of
+// scribbling its arena neighbor; in-place edits stay within the line's
+// own range.
 func forkLines(lines [][]byte) [][]byte {
 	if lines == nil {
 		return nil
 	}
+	total := 0
+	for _, l := range lines {
+		total += len(l)
+	}
+	arena := make([]byte, 0, total)
 	out := make([][]byte, len(lines))
 	for i, l := range lines {
-		out[i] = append([]byte(nil), l...)
+		if len(l) == 0 {
+			continue // mirror the per-line copy, which yields nil here
+		}
+		start := len(arena)
+		arena = append(arena, l...)
+		out[i] = arena[start:len(arena):len(arena)]
 	}
 	return out
 }
@@ -300,6 +352,9 @@ func (e *Editor) apply(ctx *sim.Ctx) {
 				e.Col--
 			}
 		case '\n':
+			// A template frozen mid-insert-mode resumes here without
+			// passing the i/a/o snapshotUndo, so unshare explicitly.
+			e.privatizeLines()
 			rest := append([]byte(nil), e.Lines[e.Row][e.Col:]...)
 			e.Lines[e.Row] = e.Lines[e.Row][:e.Col]
 			e.Lines = append(e.Lines[:e.Row+1], append([][]byte{rest}, e.Lines[e.Row+1:]...)...)
@@ -413,6 +468,10 @@ func (e *Editor) insertChar(ctx *sim.Ctx, key byte) {
 	case sim.StackBitFlip:
 		col ^= 1 << (e.salt() % 20) // a bit of the index flips in flight
 	}
+	// Templates frozen mid-insert-mode reach here without a fresh
+	// snapshotUndo; the splice below writes Lines, LineSums and (within
+	// the line's capacity) the line bytes themselves, so unshare first.
+	e.privatizeLines()
 	line := e.Lines[e.Row]
 	line = append(line[:col], append([]byte{key}, line[col:]...)...)
 	e.Lines[e.Row] = line
@@ -576,11 +635,19 @@ func (e *Editor) appendRecoveryRecord(ctx *sim.Ctx) {
 
 // snapshotUndo saves the buffer for vi's single-level undo.
 func (e *Editor) snapshotUndo() {
-	e.UndoLines = make([][]byte, len(e.Lines))
-	for i, l := range e.Lines {
-		e.UndoLines[i] = append([]byte(nil), l...)
+	if e.linesShared {
+		// The shared frozen buffer is itself an immutable image: adopt
+		// it as the undo snapshot and privatize the working copy — one
+		// arena copy where the eager fork paid two.
+		e.UndoLines, e.UndoSums = e.Lines, e.LineSums
+		e.undoShared = true
+		e.Lines = forkLines(e.Lines)
+		e.LineSums = append([]uint32(nil), e.LineSums...)
+		e.linesShared = false
+	} else {
+		e.UndoLines = forkLines(e.Lines)
+		e.UndoSums = append([]uint32(nil), e.LineSums...)
 	}
-	e.UndoSums = append([]uint32(nil), e.LineSums...)
 	e.UndoRow, e.UndoCol = e.Row, e.Col
 	e.UndoValid = true
 }
@@ -593,6 +660,9 @@ func (e *Editor) undo() {
 	}
 	e.Lines, e.UndoLines = e.UndoLines, e.Lines
 	e.LineSums, e.UndoSums = e.UndoSums, e.LineSums
+	// The shared-ness travels with the buffers: a swapped-in shared
+	// buffer is read-only until the next mutating command privatizes it.
+	e.linesShared, e.undoShared = e.undoShared, e.linesShared
 	e.Row, e.UndoRow = e.UndoRow, e.Row
 	e.Col, e.UndoCol = e.UndoCol, e.Col
 	e.LineCount = len(e.Lines)
@@ -674,6 +744,7 @@ func (e *Editor) flipHeapBitNow() {
 	if len(e.Lines) == 0 {
 		return
 	}
+	e.privatizeLines() // the flip writes line bytes in place
 	s := e.salt()
 	line := e.Lines[int(s)%len(e.Lines)]
 	apputil.FlipBit(line, s>>8)
@@ -748,53 +819,85 @@ func (e *Editor) MarshalState() ([]byte, error) {
 	return enc.B, nil
 }
 
-// UnmarshalState implements sim.Program.
+// decLines decodes n length-prefixed lines, reusing old's header array and
+// per-line buffers. Safe because Lines and UndoLines never share buffers
+// (saveUndo copies, undo swaps whole slices) and the image being decoded is
+// separate memory from any line buffer.
+func decLines(d *apputil.Dec, old [][]byte, n int) [][]byte {
+	lines := old[:0]
+	if cap(lines) < n {
+		lines = make([][]byte, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var buf []byte
+		if i < len(old) {
+			buf = old[i]
+		}
+		lines = append(lines, d.BytesInto(buf))
+	}
+	return lines
+}
+
+// decSums decodes n checksum words, reusing old's backing array.
+func decSums(d *apputil.Dec, old []uint32, n int) []uint32 {
+	sums := old[:0]
+	if cap(sums) < n {
+		sums = make([]uint32, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		sums = append(sums, uint32(d.I64()))
+	}
+	return sums
+}
+
+// UnmarshalState implements sim.Program. Like MarshalState it is
+// allocation-free in the steady state: line buffers, checksum arrays and
+// rarely-changing strings are decoded back into the editor's existing
+// storage, so the rollback path (restore every crash) costs no garbage once
+// the editor has reached its working size.
 func (e *Editor) UnmarshalState(data []byte) error {
+	// Decoding reuses the existing buffers as write targets; buffers still
+	// shared with a frozen template must be dropped, not written through.
+	if e.linesShared {
+		e.Lines, e.LineSums = nil, nil
+		e.linesShared = false
+	}
+	if e.undoShared {
+		e.UndoLines, e.UndoSums = nil, nil
+		e.undoShared = false
+	}
 	d := apputil.Dec{B: data}
 	n := d.Int()
 	if n < 0 || n > 1<<24 {
 		return fmt.Errorf("nvi: implausible line count %d", n)
 	}
-	lines := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
-		lines = append(lines, d.Bytes())
-	}
-	e.Lines = lines
+	e.Lines = decLines(&d, e.Lines, n)
 	e.Row = d.Int()
 	e.Col = d.Int()
 	e.Mode = d.Int()
-	e.ExBuf = d.Bytes()
+	e.ExBuf = d.BytesInto(e.ExBuf)
 	e.PendingOp = d.Byte()
 	e.UndoValid = d.Bool()
 	un := d.Int()
 	if un < 0 || un > 1<<24 {
 		return fmt.Errorf("nvi: implausible undo line count %d", un)
 	}
-	e.UndoLines = nil
-	for i := 0; i < un; i++ {
-		e.UndoLines = append(e.UndoLines, d.Bytes())
-	}
+	e.UndoLines = decLines(&d, e.UndoLines, un)
 	un = d.Int()
 	if un < 0 || un > 1<<24 {
 		return fmt.Errorf("nvi: implausible undo sum count %d", un)
 	}
-	e.UndoSums = nil
-	for i := 0; i < un; i++ {
-		e.UndoSums = append(e.UndoSums, uint32(d.I64()))
-	}
+	e.UndoSums = decSums(&d, e.UndoSums, un)
 	e.UndoRow = d.Int()
 	e.UndoCol = d.Int()
-	e.Filename = d.Str()
+	e.Filename = d.StrReuse(e.Filename)
 	e.Dirty = d.Bool()
 	e.LineCount = d.Int()
 	ns := d.Int()
 	if ns < 0 || ns > 1<<24 {
 		return fmt.Errorf("nvi: implausible sum count %d", ns)
 	}
-	e.LineSums = make([]uint32, 0, ns)
-	for i := 0; i < ns; i++ {
-		e.LineSums = append(e.LineSums, uint32(d.I64()))
-	}
+	e.LineSums = decSums(&d, e.LineSums, ns)
 	e.Phase = d.Int()
 	e.Key = d.Byte()
 	e.Keystroke = d.Int()
@@ -806,7 +909,7 @@ func (e *Editor) UnmarshalState(data []byte) error {
 	e.RecoveryFile = d.Bool()
 	e.RecFD = d.I64()
 	e.CheckEvery = d.Int()
-	e.LastSubst = d.Str()
+	e.LastSubst = d.StrReuse(e.LastSubst)
 	e.faultSalt = uint64(d.I64())
 	e.skipClamp = d.Bool()
 	return d.Err
@@ -893,6 +996,8 @@ func (e *Editor) UnmarshalEssential(data []byte) error {
 	e.UndoValid = false
 	e.UndoLines = nil
 	e.UndoSums = nil
+	e.linesShared = false // Lines/LineSums were rebuilt wholesale above
+	e.undoShared = false
 	e.skipClamp = false
 	e.pendingFlip = false
 	return nil

@@ -43,6 +43,11 @@ type DB struct {
 	PoolCap int
 
 	faultSalt uint64
+
+	// encBuf is the reusable MarshalState buffer. Not part of the state:
+	// it never round-trips through the image and is rebuilt lazily after a
+	// restore or fork.
+	encBuf []byte
 }
 
 // New returns a database storing its heap in `file`.
@@ -424,11 +429,10 @@ func field(fields []string, i int) string {
 	return ""
 }
 
-// MarshalState implements sim.Program.
-func (db *DB) MarshalState() ([]byte, error) {
-	var e apputil.Enc
-	db.Index.Marshal(&e)
-	db.Pool.Marshal(&e)
+// marshalInto encodes the full database state into e.
+func (db *DB) marshalInto(e *apputil.Enc) {
+	db.Index.Marshal(e)
+	db.Pool.Marshal(e)
 	e.I64(int64(db.CurPage))
 	e.Bool(db.HavePage)
 	e.Int(db.Phase)
@@ -439,20 +443,28 @@ func (db *DB) MarshalState() ([]byte, error) {
 	e.I64(int64(db.OpCost))
 	e.Int(db.PoolCap)
 	e.I64(int64(db.faultSalt))
+}
+
+// MarshalState implements sim.Program. The returned slice aliases an
+// internal buffer reused across calls; callers that retain it must copy
+// (the checkpoint path appends it into the image immediately).
+func (db *DB) MarshalState() ([]byte, error) {
+	e := apputil.Enc{B: db.encBuf[:0]}
+	db.marshalInto(&e)
+	db.encBuf = e.B
 	return e.B, nil
 }
 
-// Fork implements sim.Forker via a MarshalState round trip into a fresh
+// Fork implements sim.Forker via a marshal round trip into a fresh
 // instance: Unmarshal rebuilds the BTree and buffer pool from scratch, and
-// Marshal only reads the receiver (fresh encoder), so a quiescent template
-// may be forked from many goroutines at once.
+// marshalInto only reads the receiver (the encoder here is deliberately
+// fresh, not the shared encBuf), so a quiescent template may be forked
+// from many goroutines at once.
 func (db *DB) Fork() (sim.Program, error) {
-	blob, err := db.MarshalState()
-	if err != nil {
-		return nil, err
-	}
+	var e apputil.Enc
+	db.marshalInto(&e)
 	nd := &DB{}
-	if err := nd.UnmarshalState(blob); err != nil {
+	if err := nd.UnmarshalState(e.B); err != nil {
 		return nil, err
 	}
 	return nd, nil

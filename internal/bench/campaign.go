@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"time"
 
 	"failtrans/internal/faults"
@@ -31,6 +32,110 @@ type CampaignSnapshotResult struct {
 	ForkMeanNs int64 `json:"fork_mean_ns"`
 }
 
+// CampaignCOWResult is the campaign-cow bench row: the same reduced nvi
+// Table 1 campaign measured three ways — from scratch, served from
+// deep-copied snapshots, and served from frozen copy-on-write templates
+// through the content-addressed snapshot store. All three modes produce
+// byte-identical study results; the row quantifies what structural sharing
+// saves on top of memoization.
+type CampaignCOWResult struct {
+	App  string `json:"app"`
+	Runs int64  `json:"runs"` // injection runs executed per mode
+
+	ScratchNsPerRun  float64 `json:"scratch_ns_per_run"`
+	DeepForkNsPerRun float64 `json:"deepfork_ns_per_run"`
+	COWNsPerRun      float64 `json:"cow_ns_per_run"`
+	SpeedupX         float64 `json:"speedup_x"` // scratch / cow
+
+	DeepForkMeanNs int64   `json:"deepfork_fork_mean_ns"`
+	COWForkMeanNs  int64   `json:"cow_fork_mean_ns"`
+	ForkSpeedupX   float64 `json:"fork_speedup_x"` // deep / cow
+
+	// COW traffic observed in the final cow-mode iteration.
+	PagesPrivatized int64 `json:"pages_privatized"`
+	BytesCOW        int64 `json:"bytes_cow"`
+	// StoreHits across the best-of-3 cow iterations sharing one store:
+	// iterations 2 and 3 skip their template runs entirely.
+	StoreHits int64 `json:"store_hits"`
+}
+
+// benchCampaignCOW measures the three modes serially and best-of-three,
+// with the cow mode sharing one SnapshotStore across its iterations so the
+// row also exercises (and accounts) prefix reuse between campaigns.
+func benchCampaignCOW(scale int) (CampaignCOWResult, error) {
+	res := CampaignCOWResult{App: "nvi"}
+	store := faults.NewSnapshotStore()
+	var storeHits int64
+	runMode := func(snapshots, cow, shared bool) (ns, forkNs int64, m *obs.CampaignMetrics, err error) {
+		for i := 0; i < 3; i++ {
+			s := faults.NewAppStudy("nvi") // default SessionLen
+			s.CrashTarget = 2 * scale
+			s.MaxRunsPerType = s.CrashTarget * 12
+			s.Snapshots = snapshots
+			s.COW = cow
+			if shared {
+				s.Store = store
+			}
+			s.WallClock = wallClock
+			m = obs.NewCampaignMetrics(1)
+			s.CampaignObs = m
+			// Start each timed iteration from a collected heap (as testing.B
+			// does): without this, assist debt left by the previous mode's
+			// allocations is charged to whichever goroutine allocates next —
+			// here, the forks being timed.
+			runtime.GC()
+			start := time.Now()
+			if _, err := s.Run(); err != nil {
+				return 0, 0, nil, err
+			}
+			if d := time.Since(start).Nanoseconds(); i == 0 || d < ns {
+				ns = d
+			}
+			// Best-of-3 for the fork mean as well: each iteration runs the
+			// identical fork sequence, so the minimum is the least-noisy
+			// estimate of the same quantity.
+			if fm := m.Snapshot.ForkLatency.Mean(); i == 0 || (fm > 0 && fm < forkNs) {
+				forkNs = fm
+			}
+			storeHits += m.Snapshot.StoreHits
+		}
+		return ns, forkNs, m, nil
+	}
+
+	scratchNs, _, scratchM, err := runMode(false, false, false)
+	if err != nil {
+		return res, err
+	}
+	deepNs, deepForkNs, _, err := runMode(true, false, false)
+	if err != nil {
+		return res, err
+	}
+	storeHits = 0 // only the cow mode's store traffic belongs in the row
+	cowNs, cowForkNs, cowM, err := runMode(true, true, true)
+	if err != nil {
+		return res, err
+	}
+
+	res.Runs = scratchM.SerialRuns
+	if res.Runs > 0 {
+		res.ScratchNsPerRun = float64(scratchNs) / float64(res.Runs)
+		res.DeepForkNsPerRun = float64(deepNs) / float64(res.Runs)
+		res.COWNsPerRun = float64(cowNs) / float64(res.Runs)
+	}
+	if res.COWNsPerRun > 0 {
+		res.SpeedupX = res.ScratchNsPerRun / res.COWNsPerRun
+	}
+	res.DeepForkMeanNs = deepForkNs
+	res.COWForkMeanNs = cowForkNs
+	if res.COWForkMeanNs > 0 {
+		res.ForkSpeedupX = float64(res.DeepForkMeanNs) / float64(res.COWForkMeanNs)
+	}
+	res.PagesPrivatized = cowM.Snapshot.PagesPrivatized
+	res.BytesCOW = cowM.Snapshot.BytesCOW
+	res.StoreHits = storeHits
+	return res, nil
+}
+
 // benchCampaignSnapshot runs the reduced campaign in both modes, serially
 // (so the ns/run comparison is not confounded by worker scheduling) and
 // best-of-three (so a cold first iteration does not masquerade as the
@@ -38,7 +143,7 @@ type CampaignSnapshotResult struct {
 // identical across iterations.
 func benchCampaignSnapshot(scale int) (CampaignSnapshotResult, error) {
 	res := CampaignSnapshotResult{App: "nvi"}
-	runCampaign := func(snapshots bool) (ns int64, m *obs.CampaignMetrics, err error) {
+	runCampaign := func(snapshots bool) (ns, forkNs int64, m *obs.CampaignMetrics, err error) {
 		for i := 0; i < 3; i++ {
 			s := faults.NewAppStudy("nvi") // default SessionLen
 			s.CrashTarget = 2 * scale
@@ -47,22 +152,26 @@ func benchCampaignSnapshot(scale int) (CampaignSnapshotResult, error) {
 			s.WallClock = wallClock
 			m = obs.NewCampaignMetrics(1)
 			s.CampaignObs = m
+			runtime.GC() // collected heap per iteration, as testing.B does
 			start := time.Now()
 			if _, err := s.Run(); err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
 			if d := time.Since(start).Nanoseconds(); i == 0 || d < ns {
 				ns = d
 			}
+			if fm := m.Snapshot.ForkLatency.Mean(); i == 0 || (fm > 0 && fm < forkNs) {
+				forkNs = fm // best-of-3, same estimator as the wall clock
+			}
 		}
-		return ns, m, nil
+		return ns, forkNs, m, nil
 	}
 
-	scratchNs, scratchM, err := runCampaign(false)
+	scratchNs, _, scratchM, err := runCampaign(false)
 	if err != nil {
 		return res, err
 	}
-	snapNs, snapM, err := runCampaign(true)
+	snapNs, snapForkNs, snapM, err := runCampaign(true)
 	if err != nil {
 		return res, err
 	}
@@ -90,6 +199,6 @@ func benchCampaignSnapshot(scale int) (CampaignSnapshotResult, error) {
 	}
 	res.Snapshots = snapM.Snapshot.Snapshots
 	res.Forks = snapM.Snapshot.Forks
-	res.ForkMeanNs = snapM.Snapshot.ForkLatency.Mean()
+	res.ForkMeanNs = snapForkNs
 	return res, nil
 }

@@ -90,7 +90,10 @@ type BenchReport struct {
 	// CampaignSnapshot compares a reduced fault campaign from scratch vs
 	// served from the prefix-snapshot cache.
 	CampaignSnapshot CampaignSnapshotResult `json:"campaign_snapshot"`
-	Fig8             []Fig8Summary          `json:"fig8"`
+	// CampaignCOW compares scratch vs deep-copied snapshots vs frozen
+	// copy-on-write templates served through the snapshot store.
+	CampaignCOW CampaignCOWResult `json:"campaign_cow"`
+	Fig8        []Fig8Summary     `json:"fig8"`
 }
 
 // runMicro executes one benchmark body under the testing harness.
@@ -187,6 +190,11 @@ func RunBench(scale, workers int) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.CampaignSnapshot = cs
+	cc, err := benchCampaignCOW(scale)
+	if err != nil {
+		return nil, err
+	}
+	rep.CampaignCOW = cc
 	for _, app := range Fig8Apps {
 		res, err := Fig8(app, scale, workers)
 		if err != nil {
@@ -243,6 +251,15 @@ func (r *BenchReport) Print(w io.Writer) {
 	fmt.Fprintf(w, "%-14s %14.1f %14.1f %9.1fx\n", "steps replayed", cs.ScratchStepsReplayedPerRun,
 		cs.SnapshotStepsReplayedPerRun, cs.ReplayReductionX)
 	fmt.Fprintf(w, "%-14s snapshots=%d forks=%d fork-mean=%dns\n", "", cs.Snapshots, cs.Forks, cs.ForkMeanNs)
+	cc := r.CampaignCOW
+	fmt.Fprintf(w, "\nCampaign COW forking (%s, %d runs):\n", cc.App, cc.Runs)
+	fmt.Fprintf(w, "%-14s %14s %14s %14s %10s\n", "", "from-scratch", "deep-fork", "cow+store", "ratio")
+	fmt.Fprintf(w, "%-14s %14.0f %14.0f %14.0f %9.1fx\n", "ns/run",
+		cc.ScratchNsPerRun, cc.DeepForkNsPerRun, cc.COWNsPerRun, cc.SpeedupX)
+	fmt.Fprintf(w, "%-14s %14s %14d %14d %9.1fx\n", "fork ns", "-",
+		cc.DeepForkMeanNs, cc.COWForkMeanNs, cc.ForkSpeedupX)
+	fmt.Fprintf(w, "%-14s pages-privatized=%d bytes-cow=%d store-hits=%d\n", "",
+		cc.PagesPrivatized, cc.BytesCOW, cc.StoreHits)
 	for _, f := range r.Fig8 {
 		fmt.Fprintf(w, "\nFigure 8 (%s): baseline %.2fs virtual\n", f.App, f.BaselineVirtualSec)
 		fmt.Fprintf(w, "%-12s %8s %8s %10s %10s\n", "protocol", "ckpts", "logrecs", "DC ovhd", "disk ovhd")

@@ -25,9 +25,11 @@ type Table1Result struct {
 // reproduces the paper; smaller values run faster. workers fans injection
 // runs out over that many goroutines (0 or 1 = serial) with results
 // byte-identical to the serial loop; snapshots serves injection runs from a
-// prefix-snapshot cache (also byte-identical, much faster); campObs, if
-// non-nil, collects per-worker campaign counters.
-func Table1(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetrics) (*Table1Result, error) {
+// prefix-snapshot cache (also byte-identical, much faster); cow freezes the
+// cached templates and forks them copy-on-write (byte-identical again — the
+// CI study diffs cow on/off); campObs, if non-nil, collects per-worker
+// campaign counters.
+func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewAppStudy(app)
@@ -35,6 +37,7 @@ func Table1(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetri
 		s.MaxRunsPerType = crashTarget * 12
 		s.Parallel = workers
 		s.Snapshots = snapshots
+		s.COW = cow
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		rs, err := s.Run()
@@ -92,9 +95,9 @@ type Table2Result struct {
 	Postgres []faults.OSTypeResult
 }
 
-// Table2 runs the OS fault-injection study; workers, snapshots and campObs
-// behave as in Table1.
-func Table2(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetrics) (*Table2Result, error) {
+// Table2 runs the OS fault-injection study; workers, snapshots, cow and
+// campObs behave as in Table1.
+func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewOSStudy(app)
@@ -102,6 +105,7 @@ func Table2(crashTarget, workers int, snapshots bool, campObs *obs.CampaignMetri
 		s.MaxRunsPerType = crashTarget * 12
 		s.Parallel = workers
 		s.Snapshots = snapshots
+		s.COW = cow
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		rs, err := s.Run()

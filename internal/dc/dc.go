@@ -87,6 +87,11 @@ type DC struct {
 	deps    []map[int]int
 	epoch   []int
 	msgDeps map[int64]map[int]int
+	// msgDepsShared marks msgDeps as borrowed from a frozen template; the
+	// first write copies it (the inner snapshots are write-once and stay
+	// shared). frozen marks this instance sealed as a COW fork template.
+	msgDepsShared bool
+	frozen        bool
 
 	ndLog     [][]logRec
 	watermark []int
@@ -176,8 +181,6 @@ func New(w *sim.World, pol protocol.Policy, medium stablestore.Medium) *DC {
 		pendingCommit: make([]string, n),
 		registers:     make([]byte, registerFileSize),
 		imgBuf:        make([][]byte, n),
-		coStats:       make([]vista.Stats, n),
-		coErrs:        make([]error, n),
 	}
 	d.Stats.Checkpoints = make([]int, n)
 	for i := range d.deps {
@@ -343,6 +346,10 @@ func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label str
 			}
 		}
 		return
+	}
+	if d.coStats == nil { // scratch is lazy: most forks never 2PC
+		d.coStats = make([]vista.Stats, len(d.segs))
+		d.coErrs = make([]error, len(d.segs))
 	}
 	var wg sync.WaitGroup
 	for i, q := range members {
@@ -515,12 +522,15 @@ func (d *DC) AfterEvent(p *sim.Proc, ev event.Event) {
 			snap[p.Index] = d.epoch[p.Index]
 		}
 		if len(snap) > 0 {
-			d.msgDeps[ev.Msg] = snap
+			d.mutableMsgDeps()[ev.Msg] = snap
 		}
 	case event.Receive:
 		if snap, ok := d.msgDeps[ev.Msg]; ok {
 			for q, ep := range snap {
 				if d.epoch[q] == ep && q != p.Index {
+					if d.deps[p.Index] == nil {
+						d.deps[p.Index] = make(map[int]int)
+					}
 					d.deps[p.Index][q] = ep
 				}
 			}
@@ -593,7 +603,10 @@ func (d *DC) SupplyND(p *sim.Proc, label string) ([]byte, bool) {
 }
 
 // divergeLog truncates the unreplayed log tail after a divergence,
-// re-queueing logged-but-unreplayed receives into the inbox.
+// re-queueing logged-but-unreplayed receives into the inbox. The truncation
+// clamps capacity: a COW fork shares the log's backing array with its
+// frozen template, and an uncapped truncate-then-append would overwrite
+// record headers other forks still read.
 func (d *DC) divergeLog(p *sim.Proc) {
 	i := p.Index
 	for _, rec := range d.ndLog[i][d.cursor[i]:] {
@@ -601,9 +614,24 @@ func (d *DC) divergeLog(p *sim.Proc) {
 			d.World.RequeueLogged(p, rec.val)
 		}
 	}
-	d.ndLog[i] = d.ndLog[i][:d.cursor[i]]
+	d.ndLog[i] = d.ndLog[i][:d.cursor[i]:d.cursor[i]]
 	d.replaying[i] = false
 	d.endReplayWindow(p)
+}
+
+// mutableMsgDeps returns msgDeps, copying the top-level map first when it
+// is still shared with a frozen template. The per-message snapshots are
+// written once at send time and only read afterwards, so they stay shared.
+func (d *DC) mutableMsgDeps() map[int64]map[int]int {
+	if d.msgDepsShared {
+		c := make(map[int64]map[int]int, len(d.msgDeps)+1)
+		for msg, snap := range d.msgDeps {
+			c[msg] = snap
+		}
+		d.msgDeps = c
+		d.msgDepsShared = false
+	}
+	return d.msgDeps
 }
 
 // OnBlocked implements sim.Recovery: when a replaying process blocks on
@@ -685,18 +713,15 @@ func (d *DC) Rollback(p *sim.Proc) error {
 	depth := int64(p.Steps - d.stepsBase[i])
 	start := p.Ctx().NowVirtual()
 	d.endReplayWindow(p) // a crash mid-replay abandons the open window
-	seg := d.seg(i)
-	seg.Rollback()
-	img := seg.AppendContents(d.imgBuf[i][:0])
-	d.imgBuf[i] = img
-	if err := p.RestoreCheckpointImage(img); err != nil {
+	if err := d.rollbackRestore(p); err != nil {
 		return fmt.Errorf("dc: rollback %s: %w", p.Prog.Name(), err)
 	}
 	// A crash loses the volatile tail of an asynchronous log; the
 	// re-execution runs those events live (their messages are still in
-	// the retention buffer).
+	// the retention buffer). Capacity is clamped for the same reason as
+	// divergeLog: a COW fork's log may share backing with its template.
 	if d.flushed[i] < len(d.ndLog[i]) {
-		d.ndLog[i] = d.ndLog[i][:d.flushed[i]]
+		d.ndLog[i] = d.ndLog[i][:d.flushed[i]:d.flushed[i]]
 	}
 	if d.Policy.LogsLabel("recv") && !d.Policy.LogAsync {
 		// Consumed messages live in the log past the watermark; replay
@@ -710,7 +735,7 @@ func (d *DC) Rollback(p *sim.Proc) error {
 	d.stepsBase[i] = p.Steps // restore point == last commit position
 	d.ndSince[i] = false
 	d.pendingCommit[i] = "" // a commit deferred by the crashed step is void
-	cost := d.Medium.CommitCost(len(img))
+	cost := d.Medium.CommitCost(len(d.imgBuf[i]))
 	d.World.AddTime(p, cost)
 	d.Stats.Recoveries++
 	if m := d.World.Metrics; m != nil {
@@ -729,6 +754,24 @@ func (d *DC) Rollback(p *sim.Proc) error {
 		}
 	}
 	return nil
+}
+
+// rollbackRestore is the undo/redo core of a rollback: apply the segment's
+// undo log, materialize the committed image into the reusable per-process
+// buffer, and rebuild process state from it. It is the recovery-side
+// counterpart of diffOne and, like it, must not allocate in the steady
+// state — rollback buffers are pooled in the segment, the image buffer is
+// reused across rollbacks and commits, and the register file is read in
+// place rather than copied out.
+//
+//failtrans:hotpath
+func (d *DC) rollbackRestore(p *sim.Proc) error {
+	i := p.Index
+	seg := d.seg(i)
+	seg.RollbackPages()
+	img := seg.AppendContents(d.imgBuf[i][:0])
+	d.imgBuf[i] = img
+	return p.RestoreCheckpointImage(img)
 }
 
 // endReplayWindow closes the process's open "replay" tracer window, if any.

@@ -5,7 +5,7 @@ import (
 	"failtrans/internal/vista"
 )
 
-// ForkRecovery implements sim.ForkableRecovery: it deep-copies the whole
+// ForkRecovery implements sim.ForkableRecovery: it copies the whole
 // Discount Checking state — Vista segments mid-transaction, ND logs and
 // replay cursors, dependency maps, commit epochs — against the forked world
 // w, so the copy recovers and commits exactly as the original would from
@@ -14,30 +14,42 @@ import (
 // original's closures would observe the wrong run); callers re-install
 // their own on the returned *DC (the concrete type is the return value's
 // dynamic type).
+//
+// Forking a frozen DC is copy-on-write: segments fork as overlay views of
+// the frozen template pages, the ND logs and message-dependency map are
+// shared behind immutable references (log slices are capacity-clamped so a
+// fork's appends reallocate instead of scribbling on the shared backing;
+// msgDeps is copied top-level on first insert), and the per-process image
+// buffers start empty and grow lazily. Forking a mutable DC deep-copies.
 func (d *DC) ForkRecovery(w *sim.World) sim.Recovery {
 	n := len(d.segs)
+	// The fixed-length per-process bookkeeping shares two backing arrays —
+	// forks are taken millions of times per campaign, and each separate
+	// small slice is one more allocation on that path. Capacity clamps keep
+	// an (impossible today) append from crossing into a neighbor field.
+	ints := make([]int, 6*n)
+	bools := make([]bool, 3*n)
 	nd := &DC{
-		World:             w,
-		Policy:            d.Policy,
-		Medium:            d.Medium,
-		PageSize:          d.PageSize,
-		segs:              make([]*vista.Segment, n),
-		ndSince:           append([]bool(nil), d.ndSince...),
-		deps:              make([]map[int]int, n),
-		epoch:             append([]int(nil), d.epoch...),
-		msgDeps:           make(map[int64]map[int]int, len(d.msgDeps)),
-		ndLog:             make([][]logRec, n),
-		watermark:         append([]int(nil), d.watermark...),
-		replaying:         append([]bool(nil), d.replaying...),
-		cursor:            append([]int(nil), d.cursor...),
-		stepsBase:         append([]int(nil), d.stepsBase...),
-		replayOpen:        make([]bool, n), // no tracer on a fork: no open windows
-		flushed:           append([]int(nil), d.flushed...),
-		pendingCommit:     append([]string(nil), d.pendingCommit...),
-		registers:         append([]byte(nil), d.registers...),
+		World:         w,
+		Policy:        d.Policy,
+		Medium:        d.Medium,
+		PageSize:      d.PageSize,
+		segs:          make([]*vista.Segment, n),
+		ndSince:       bools[0:n:n],
+		deps:          make([]map[int]int, n),
+		epoch:         ints[0:n:n],
+		ndLog:         make([][]logRec, n),
+		watermark:     ints[n : 2*n : 2*n],
+		replaying:     bools[n : 2*n : 2*n],
+		cursor:        ints[2*n : 3*n : 3*n],
+		stepsBase:     ints[3*n : 4*n : 4*n],
+		replayOpen:    bools[2*n : 3*n : 3*n], // stays false: no tracer on a fork
+		flushed:       ints[4*n : 5*n : 5*n],
+		pendingCommit: append([]string(nil), d.pendingCommit...),
+		// registers is written once at New and only ever read afterwards
+		// (Segment.Commit copies it out), so every fork shares it.
+		registers:         d.registers,
 		imgBuf:            make([][]byte, n),
-		coStats:           make([]vista.Stats, n),
-		coErrs:            make([]error, n),
 		DisableRecovery:   d.DisableRecovery,
 		CheckBeforeCommit: d.CheckBeforeCommit,
 		EssentialOnly:     d.EssentialOnly,
@@ -45,13 +57,45 @@ func (d *DC) ForkRecovery(w *sim.World) sim.Recovery {
 		ChecksFailed:      d.ChecksFailed,
 		Stats:             d.Stats,
 	}
-	nd.Stats.Checkpoints = append([]int(nil), d.Stats.Checkpoints...)
+	copy(nd.ndSince, d.ndSince)
+	copy(nd.replaying, d.replaying)
+	copy(nd.epoch, d.epoch)
+	copy(nd.watermark, d.watermark)
+	copy(nd.cursor, d.cursor)
+	copy(nd.stepsBase, d.stepsBase)
+	copy(nd.flushed, d.flushed)
+	nd.Stats.Checkpoints = ints[5*n : 6*n : 6*n]
+	copy(nd.Stats.Checkpoints, d.Stats.Checkpoints)
 	for i, dep := range d.deps {
+		if len(dep) == 0 {
+			continue // the receive path allocates on first insert
+		}
 		nd.deps[i] = make(map[int]int, len(dep))
 		for q, ep := range dep {
 			nd.deps[i][q] = ep
 		}
 	}
+	for i, seg := range d.segs {
+		if seg != nil {
+			nd.segs[i] = seg.Fork() // COW automatically when seg is frozen
+		}
+	}
+	if d.frozen {
+		// Records are appended, truncated and read, never mutated in
+		// place; with the capacity clamp a fork's append can only
+		// reallocate, so sharing the frozen template's backing is safe.
+		for i, log := range d.ndLog {
+			nd.ndLog[i] = log[:len(log):len(log)]
+		}
+		// Message-dependency snapshots are write-once; the top-level map
+		// is copied on the fork's first insert (mutableMsgDeps).
+		nd.msgDeps = d.msgDeps
+		nd.msgDepsShared = true
+		// imgBuf slots stay nil: they grow on the fork's first commit or
+		// rollback, and most campaign forks crash before either.
+		return nd
+	}
+	nd.msgDeps = make(map[int64]map[int]int, len(d.msgDeps))
 	for msg, snap := range d.msgDeps {
 		c := make(map[int]int, len(snap))
 		for q, ep := range snap {
@@ -60,18 +104,70 @@ func (d *DC) ForkRecovery(w *sim.World) sim.Recovery {
 		nd.msgDeps[msg] = c
 	}
 	for i, log := range d.ndLog {
-		// Records are appended, truncated and read, never mutated in
-		// place, and each val is a fresh copy at RecordND time — copying
-		// the record slice suffices; the value bytes are shared.
+		// Same sharing argument as the frozen branch: record slices are
+		// copied, the value bytes stay shared.
 		nd.ndLog[i] = append([]logRec(nil), log...)
-	}
-	for i, seg := range d.segs {
-		if seg != nil {
-			nd.segs[i] = seg.Fork()
-		}
 	}
 	for i, buf := range d.imgBuf {
 		nd.imgBuf[i] = make([]byte, 0, cap(buf))
 	}
 	return nd
+}
+
+// Freeze seals the DC as an immutable fork template: every segment is
+// frozen (mutators panic; forks become COW overlays) and subsequent
+// ForkRecovery calls take the structural-sharing path. There is no thaw —
+// a frozen DC exists only to be forked.
+func (d *DC) Freeze() {
+	for _, seg := range d.segs {
+		if seg != nil {
+			seg.Freeze()
+		}
+	}
+	d.frozen = true
+}
+
+// CowStats sums the copy-on-write cost this DC's segments have paid since
+// forking: pages privatized out of their frozen templates and bytes copied
+// doing so. Zero for deep-copied forks and templates.
+func (d *DC) CowStats() (pages int, bytes int64) {
+	for _, seg := range d.segs {
+		if seg != nil {
+			pages += seg.CowPages
+			bytes += seg.CowBytes
+		}
+	}
+	return pages, bytes
+}
+
+// ContentDigest folds every segment's page digests with the recovery
+// protocol's replay state (epochs, watermarks, log lengths) into one
+// deterministic value — the recovery layer's contribution to a snapshot's
+// content address.
+func (d *DC) ContentDigest() uint64 {
+	const mul = 0x9E3779B97F4A7C15
+	h := uint64(0xD15C0C4EC4E8B1A7)
+	for i, seg := range d.segs {
+		h = (h ^ uint64(i)) * mul
+		if seg != nil {
+			h = (h ^ seg.ContentDigest()) * mul
+		}
+		if i < len(d.epoch) {
+			h = (h ^ uint64(d.epoch[i])) * mul
+		}
+		if i < len(d.watermark) {
+			h = (h ^ uint64(d.watermark[i])) * mul
+		}
+		if i < len(d.ndLog) {
+			h = (h ^ uint64(len(d.ndLog[i]))) * mul
+		}
+		if i < len(d.flushed) {
+			h = (h ^ uint64(d.flushed[i])) * mul
+		}
+	}
+	h = (h ^ uint64(len(d.registers))) * mul
+	for _, c := range d.registers {
+		h = (h ^ uint64(c)) * mul
+	}
+	return h
 }

@@ -119,6 +119,20 @@ type AppStudy struct {
 	// the snapshot below its fire point and resumes, skipping the clean
 	// prefix. Results are byte-identical to the from-scratch loop.
 	Snapshots bool
+	// COW freezes every captured snapshot world as an immutable template,
+	// so injection runs fork copy-on-write overlays — O(metadata) per fork,
+	// pages privatized on first write — instead of deep copies. Off, forks
+	// deep-copy the whole world. Results are byte-identical either way
+	// (CI diffs the two study outputs); the knob exists for that check and
+	// for the benchmark's before/after comparison.
+	COW bool
+	// Store, if non-nil, memoizes the study's frozen prefix cache
+	// content-addressed by configuration and template digest, so repeated
+	// studies of the same clean prefix (benchmark iterations, protocol
+	// sweeps over one app/seed) skip the template run entirely. Only
+	// consulted when COW is set: freezing is what guarantees a stored
+	// template can never be mutated by the runs it serves.
+	Store *SnapshotStore
 	// WallClock, if set, supplies wall-clock nanoseconds for the fork
 	// latency histogram. It is injected by the bench/cmd layers; the
 	// deterministic core this study belongs to cannot call time.Now
@@ -142,6 +156,7 @@ func NewAppStudy(app string) *AppStudy {
 		Seed:           1,
 		SessionLen:     400,
 		Snapshots:      true,
+		COW:            true,
 	}
 }
 
@@ -199,6 +214,25 @@ func (s *AppStudy) noteReplay(inj *oneShot, baseSteps int) {
 		return
 	}
 	s.CampaignObs.Snapshot.AddReplay(inj.firedStep - baseSteps)
+}
+
+// noteCOW accounts one finished fork's copy-on-write cost: segment pages
+// privatized by the recovery layer plus files privatized by the kernel
+// (counted as pages too — both are first-touch copy units), and the bytes
+// moved. Zero for deep-copied forks, so the counters double as proof the
+// COW path was actually exercised.
+func (s *AppStudy) noteCOW(w *sim.World, d *dc.DC) {
+	if s.CampaignObs == nil || d == nil {
+		return
+	}
+	pages, bytes := d.CowStats()
+	if k, ok := w.OS.(*kernel.Kernel); ok {
+		pages += k.CowFiles
+		bytes += k.CowBytes
+	}
+	if pages > 0 || bytes > 0 {
+		s.CampaignObs.Snapshot.AddCOW(pages, bytes)
+	}
 }
 
 // finishRun classifies a completed injection run (everything but the
@@ -332,7 +366,7 @@ func (s *AppStudy) Run() ([]TypeResult, error) {
 	}
 	var cache *prefixCache
 	if s.Snapshots {
-		if cache, err = s.buildPrefixCache(); err != nil {
+		if cache, err = s.cachedPrefix("table1", s.buildPrefixCache); err != nil {
 			return nil, err
 		}
 	}

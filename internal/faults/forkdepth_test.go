@@ -1,0 +1,33 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestForkCostBySnapshotDepth is a diagnostic: it prints per-snapshot COW
+// fork cost so regressions can be localized to a layer that stops sharing
+// as the prefix deepens. Run with -v to see the table.
+func TestForkCostBySnapshotDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	s := NewAppStudy("nvi")
+	s.WallClock = nil
+	c, err := s.buildPrefixCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.snaps {
+		snap := &c.snaps[i]
+		const reps = 200
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := snap.world.Fork(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ns := time.Since(start).Nanoseconds() / reps
+		t.Logf("snap %2d visits=%4d steps=%5d fork=%6dns", i, snap.visits, snap.steps, ns)
+	}
+}

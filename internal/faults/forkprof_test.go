@@ -1,0 +1,27 @@
+package faults
+
+import (
+	"testing"
+)
+
+// BenchmarkWorldForkCOW measures forking a frozen mid-session template —
+// the operation the campaign performs once per injection run.
+func BenchmarkWorldForkCOW(b *testing.B) {
+	s := NewAppStudy("nvi")
+	s.WallClock = nil
+	c, err := s.buildPrefixCache()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(c.snaps) == 0 {
+		b.Fatal("no snapshots")
+	}
+	snap := &c.snaps[len(c.snaps)/2]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.world.Fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

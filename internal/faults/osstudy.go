@@ -187,7 +187,7 @@ func (o *OSStudy) Run() ([]OSTypeResult, error) {
 	var cache *prefixCache
 	if o.Snapshots {
 		var err error
-		if cache, err = o.buildOSPrefixCache(); err != nil {
+		if cache, err = o.cachedPrefix("table2", o.buildOSPrefixCache); err != nil {
 			return nil, err
 		}
 	}

@@ -107,11 +107,17 @@ func (c *prefixCache) byClock(injectAt time.Duration) *prefixSnapshot {
 	return best
 }
 
-// capture forks the running template into a new snapshot.
+// capture forks the running template into a new snapshot. With COW set the
+// snapshot world is frozen immediately: it exists only to be forked, and
+// freezing switches those forks from O(state) deep copies to O(metadata)
+// overlays while turning any accidental template mutation into a panic.
 func (c *prefixCache) capture(s *AppStudy, w *sim.World, visits int, commits []int) error {
 	fw, err := w.Fork()
 	if err != nil {
 		return err
+	}
+	if s.COW {
+		fw.Freeze()
 	}
 	c.snaps = append(c.snaps, prefixSnapshot{
 		visits:  visits,
@@ -221,6 +227,7 @@ func (s *AppStudy) runOneSnap(kind sim.FaultKind, injSeed int64, clean []string,
 		return res, err
 	}
 	s.noteReplay(inj, snap.steps)
+	s.noteCOW(w, d)
 	res = s.finishRun(w, inj, commits, clean)
 	if res.Crashed {
 		res.Recovered = s.endToEndSnap(kind, inj.fireAt, cache)
@@ -253,6 +260,7 @@ func (s *AppStudy) endToEndSnap(kind sim.FaultKind, fireAt int, cache *prefixCac
 		return false
 	}
 	s.noteReplay(inj, snap.steps)
+	s.noteCOW(w, d)
 	return w.AllDone()
 }
 
@@ -352,6 +360,7 @@ func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCac
 			o.noteOSReplay(w.StepCount() - snap.steps)
 		}
 	}
+	o.noteCOW(w, d)
 	if !injected || crashes == 0 {
 		return false, false, k.FaultCorrupted(0), nil
 	}

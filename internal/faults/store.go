@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"sync"
+
+	"failtrans/internal/dc"
+	"failtrans/internal/kernel"
+)
+
+// SnapshotStore is a content-addressed memo of frozen prefix caches, shared
+// across studies. A fault campaign's template run is pure — the clean
+// session is fixed by (app, protocol, seed, session length, commit-check
+// flag) — so two studies with equal configuration build byte-identical
+// snapshot sequences. The store lets the second one skip the template run
+// and fork the first one's frozen templates directly: the benchmark's
+// best-of-3 iterations, a protocol sweep over one app/seed, and the COW
+// on/off CI comparison all hit the same entry.
+//
+// Safety rests on Freeze: a stored cache's worlds are sealed, so serving
+// them to any number of concurrent studies cannot mutate them — a fork
+// privatizes what it touches. Each entry also records the content digest
+// of its templates (segment page hashes, kernel filesystem contents,
+// recovery replay state) at publish time; a lookup re-derives the digest
+// and treats a mismatch as a miss, so any nondeterminism or mutation leak
+// trips the wire instead of silently serving a diverged prefix.
+type SnapshotStore struct {
+	mu      sync.Mutex
+	entries map[storeKey]*storeEntry
+}
+
+// storeKey is the configuration identity of a clean prefix: everything
+// that influences the template run. Injection-side knobs (fault kinds,
+// crash targets, parallelism) are deliberately absent — they only matter
+// after a fork.
+type storeKey struct {
+	kind              string // "table1" (app study) or "table2" (OS study)
+	app               string
+	policy            string
+	seed              int64
+	sessionLen        int
+	checkBeforeCommit bool
+}
+
+type storeEntry struct {
+	cache  *prefixCache
+	digest uint64
+}
+
+// NewSnapshotStore returns an empty store, ready to be shared by any
+// number of concurrent studies.
+func NewSnapshotStore() *SnapshotStore {
+	return &SnapshotStore{entries: make(map[storeKey]*storeEntry)}
+}
+
+// digest folds the cache's snapshot sequence into one content address:
+// each snapshot's position keys (visits, clock, steps), commit history,
+// and — through the ContentDigest methods — its recovery layer's page
+// contents and replay state plus its kernel's filesystem image.
+func (c *prefixCache) digest() uint64 {
+	const mul = 0x9E3779B97F4A7C15
+	h := uint64(0xC0FFEE1CEBABB1E5)
+	for i := range c.snaps {
+		snap := &c.snaps[i]
+		h = (h ^ uint64(snap.visits)) * mul
+		h = (h ^ uint64(snap.clock)) * mul
+		h = (h ^ uint64(snap.steps)) * mul
+		h = (h ^ uint64(len(snap.commits))) * mul
+		for _, cm := range snap.commits {
+			h = (h ^ uint64(cm)) * mul
+		}
+		if d, ok := snap.world.Recovery.(*dc.DC); ok {
+			h = (h ^ d.ContentDigest()) * mul
+		}
+		if k, ok := snap.world.OS.(*kernel.Kernel); ok {
+			h = (h ^ k.ContentDigest()) * mul
+		}
+	}
+	return h
+}
+
+// lookup returns the cache for key, building and publishing it on a miss.
+// A hit whose recomputed digest no longer matches the published one is
+// demoted to a miss (and the stale entry replaced) — the nondeterminism
+// tripwire.
+func (st *SnapshotStore) lookup(key storeKey, build func() (*prefixCache, error)) (*prefixCache, bool, error) {
+	st.mu.Lock()
+	e := st.entries[key]
+	st.mu.Unlock()
+	if e != nil && e.cache.digest() == e.digest {
+		return e.cache, true, nil
+	}
+	c, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+	st.mu.Lock()
+	st.entries[key] = &storeEntry{cache: c, digest: c.digest()}
+	st.mu.Unlock()
+	return c, false, nil
+}
+
+// Len reports how many distinct clean prefixes the store holds.
+func (st *SnapshotStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// storeKeyFor derives this study's configuration identity.
+func (s *AppStudy) storeKeyFor(kind string) storeKey {
+	return storeKey{
+		kind:              kind,
+		app:               s.App,
+		policy:            s.Policy.Name,
+		seed:              s.Seed,
+		sessionLen:        s.SessionLen,
+		checkBeforeCommit: s.CheckBeforeCommit,
+	}
+}
+
+// cachedPrefix resolves the study's prefix cache: through the store when
+// one is attached (and COW guarantees immutability), else by building
+// directly. Store traffic is accounted in the campaign metrics.
+func (s *AppStudy) cachedPrefix(kind string, build func() (*prefixCache, error)) (*prefixCache, error) {
+	if s.Store == nil || !s.COW {
+		return build()
+	}
+	c, hit, err := s.Store.lookup(s.storeKeyFor(kind), build)
+	if err != nil {
+		return nil, err
+	}
+	if s.CampaignObs != nil {
+		if hit {
+			s.CampaignObs.Snapshot.AddStoreHit()
+		} else {
+			s.CampaignObs.Snapshot.AddStoreMiss()
+		}
+	}
+	return c, nil
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"failtrans/internal/event"
@@ -60,6 +61,95 @@ type node struct {
 	fault   *kernelFault
 	edits   int64 // corruption counter for deterministic bit choice
 	Syscall int64 // total syscalls served
+
+	// base, when non-nil, is the frozen template node this node was COW-
+	// forked from: file contents read through it until the first mutation
+	// privatizes them into fs, and deleted masks paths unlinked locally.
+	// The base belongs to a frozen kernel, so it can never change.
+	base    *node
+	deleted map[string]bool
+
+	// saveFDs and saveBuf are SaveProcState's reusable scratch: the commit
+	// path serializes the file table once per checkpoint and appends the
+	// blob into the image immediately. Per-node (not per-kernel) because a
+	// coordinated commit saves all processes concurrently; never cloned
+	// into forks (each fork's nodes start with zero scratch).
+	saveFDs []int
+	saveBuf []byte
+}
+
+// file resolves a path overlay-first: the node's own fs, then (unless
+// locally deleted) the frozen base chain. The returned slice must not be
+// mutated unless it came from the node's own fs.
+func (n *node) file(path string) ([]byte, bool) {
+	if d, ok := n.fs[path]; ok {
+		return d, true
+	}
+	if n.base == nil || n.deleted[path] {
+		return nil, false
+	}
+	return n.base.file(path)
+}
+
+// setFile stores data (which the node must own) under path, clearing any
+// local deletion mask.
+func (n *node) setFile(path string, data []byte) {
+	if n.fs == nil {
+		n.fs = make(map[string][]byte) // COW forks defer the overlay map
+	}
+	n.fs[path] = data
+	if n.deleted != nil {
+		delete(n.deleted, path)
+	}
+}
+
+// ownFile returns a privately-owned copy of path's contents, privatizing it
+// out of the frozen base on first mutation — the per-file analogue of
+// vista's first-touch page copy. The second return mirrors file().
+func (n *node) ownFile(path string, k *Kernel) ([]byte, bool) {
+	if d, ok := n.fs[path]; ok {
+		return d, true
+	}
+	if n.base == nil || n.deleted[path] {
+		return nil, false
+	}
+	d, ok := n.base.file(path)
+	if !ok {
+		return nil, false
+	}
+	cow := append([]byte(nil), d...)
+	if n.fs == nil {
+		n.fs = make(map[string][]byte) // COW forks defer the overlay map
+	}
+	n.fs[path] = cow
+	k.CowFiles++
+	k.CowBytes += int64(len(cow))
+	return cow, true
+}
+
+// removeFile unlinks path, masking any base copy.
+func (n *node) removeFile(path string) {
+	delete(n.fs, path)
+	if n.base != nil {
+		if n.deleted == nil {
+			n.deleted = make(map[string]bool)
+		}
+		n.deleted[path] = true
+	}
+}
+
+// addNames accumulates the node's live file names: the base's, minus local
+// deletions, plus the node's own.
+func (n *node) addNames(set map[string]bool) {
+	if n.base != nil {
+		n.base.addNames(set)
+		for p := range n.deleted {
+			delete(set, p)
+		}
+	}
+	for p := range n.fs {
+		set[p] = true
+	}
 }
 
 // Kernel implements sim.OS for any number of processes, each on its own
@@ -82,8 +172,28 @@ type Kernel struct {
 	// markers on the faulted process's track.
 	Tracer *obs.Tracer
 
-	nodes map[int]*node
+	// CowFiles and CowBytes count files privatized out of a frozen
+	// template kernel on first mutation, and the bytes copied doing so.
+	CowFiles int
+	CowBytes int64
+
+	nodes  map[int]*node
+	frozen bool
+	// base, when non-nil, is the frozen template kernel this one was COW-
+	// forked from: nodes absent from the local map are cloned out of the
+	// base chain on first touch. The base is frozen, so it never changes.
+	base *Kernel
+	// mu guards the nodes map. Stepping is serial, but a coordinated commit
+	// saves every process's state from one goroutine per process, and on a
+	// COW fork those saves can materialize node clones concurrently.
+	mu sync.RWMutex
 }
+
+// Freeze seals the kernel as an immutable copy-on-write template:
+// subsequent ForkOS calls share node filesystems behind base references
+// instead of deep-copying them, and the template must never serve another
+// syscall. Any number of forks may then be taken concurrently.
+func (k *Kernel) Freeze() { k.frozen = true }
 
 // New returns a kernel with no nodes; nodes are created on first use.
 func New() *Kernel {
@@ -98,22 +208,83 @@ func (k *Kernel) SetObs(m *obs.Metrics, t *obs.Tracer) {
 }
 
 func (k *Kernel) node(pid int) *node {
+	k.mu.RLock()
 	n, ok := k.nodes[pid]
-	if !ok {
-		n = &node{fs: make(map[string][]byte), fds: make(map[int]*fdEntry), nextFD: 3, fdLimit: MaxOpenFiles}
-		k.nodes[pid] = n
+	k.mu.RUnlock()
+	if ok {
+		return n
 	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n, ok := k.nodes[pid]; ok {
+		return n // raced with another materializing save
+	}
+	if k.nodes == nil {
+		k.nodes = make(map[int]*node) // COW forks start with no local map
+	}
+	if tn, ok := k.lookupBase(pid); ok {
+		n = cloneNode(tn)
+	} else {
+		n = &node{fs: make(map[string][]byte), fds: make(map[int]*fdEntry), nextFD: 3, fdLimit: MaxOpenFiles}
+	}
+	k.nodes[pid] = n
 	return n
+}
+
+// lookup resolves pid to its node without materializing a clone: the local
+// map first, then the frozen base chain.
+func (k *Kernel) lookup(pid int) (*node, bool) {
+	k.mu.RLock()
+	n, ok := k.nodes[pid]
+	k.mu.RUnlock()
+	if ok {
+		return n, true
+	}
+	return k.lookupBase(pid)
+}
+
+// lookupBase resolves pid through the frozen base chain only. Frozen
+// kernels never serve syscalls, so their maps are immutable and need no
+// locking.
+func (k *Kernel) lookupBase(pid int) (*node, bool) {
+	for b := k.base; b != nil; b = b.base {
+		if n, ok := b.nodes[pid]; ok {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// pids returns the sorted union of node ids across this kernel and its
+// frozen base chain.
+func (k *Kernel) pids() []int {
+	k.mu.RLock()
+	seen := make(map[int]bool, len(k.nodes))
+	for pid := range k.nodes {
+		seen[pid] = true
+	}
+	k.mu.RUnlock()
+	for b := k.base; b != nil; b = b.base {
+		for pid := range b.nodes {
+			seen[pid] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for pid := range seen {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // WriteFile seeds a file on pid's node (test/bench setup).
 func (k *Kernel) WriteFile(pid int, path string, data []byte) {
-	k.node(pid).fs[path] = append([]byte(nil), data...)
+	k.node(pid).setFile(path, append([]byte(nil), data...))
 }
 
 // ReadFile reads a file from pid's node directly (assertions in tests).
 func (k *Kernel) ReadFile(pid int, path string) ([]byte, bool) {
-	d, ok := k.node(pid).fs[path]
+	d, ok := k.node(pid).file(path)
 	if !ok {
 		return nil, false
 	}
@@ -123,8 +294,10 @@ func (k *Kernel) ReadFile(pid int, path string) ([]byte, bool) {
 // Files lists pid's node's files, sorted.
 func (k *Kernel) Files(pid int) []string {
 	n := k.node(pid)
-	out := make([]string, 0, len(n.fs))
-	for p := range n.fs {
+	set := make(map[string]bool, len(n.fs))
+	n.addNames(set)
+	out := make([]string, 0, len(set))
+	for p := range set {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -271,11 +444,11 @@ func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error)
 		}
 		path := string(args[0])
 		create := len(args) > 1 && len(args[1]) > 0 && args[1][0] == 1
-		if _, ok := n.fs[path]; !ok {
+		if _, ok := n.file(path); !ok {
 			if !create {
 				return nil, fmt.Errorf("kernel: open %s: no such file", path)
 			}
-			n.fs[path] = nil
+			n.setFile(path, nil)
 		}
 		fd := n.nextFD
 		n.nextFD++
@@ -304,7 +477,7 @@ func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error)
 			return nil, fmt.Errorf("kernel: read needs a length")
 		}
 		want := Int(args[1])
-		data := n.fs[e.Path]
+		data, _ := n.file(e.Path)
 		if e.Offset >= int64(len(data)) {
 			return [][]byte{nil}, nil
 		}
@@ -328,15 +501,13 @@ func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error)
 			return nil, fmt.Errorf("kernel: write needs data")
 		}
 		data := args[1]
-		file := n.fs[e.Path]
+		file, _ := n.ownFile(e.Path, k)
 		need := e.Offset + int64(len(data))
 		if int64(len(file)) < need {
-			grown := make([]byte, need)
-			copy(grown, file)
-			file = grown
+			file = growFile(file, need)
 		}
 		copy(file[e.Offset:], data)
-		n.fs[e.Path] = file
+		n.setFile(e.Path, file)
 		e.Offset += int64(len(data))
 		return [][]byte{I64(int64(len(data)))}, nil
 	case "lseek":
@@ -359,25 +530,25 @@ func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error)
 		}
 		path := string(args[0])
 		size := Int(args[1])
-		data, ok := n.fs[path]
+		data, ok := n.ownFile(path, k)
 		if !ok {
 			return nil, fmt.Errorf("kernel: truncate %s: no such file", path)
 		}
 		if int64(len(data)) > size {
-			n.fs[path] = data[:size]
+			n.setFile(path, data[:size])
 		}
 		return nil, nil
 	case "unlink":
 		if len(args) < 1 {
 			return nil, fmt.Errorf("kernel: unlink needs a path")
 		}
-		delete(n.fs, string(args[0]))
+		n.removeFile(string(args[0]))
 		return nil, nil
 	case "stat":
 		if len(args) < 1 {
 			return nil, fmt.Errorf("kernel: stat needs a path")
 		}
-		data, ok := n.fs[string(args[0])]
+		data, ok := n.file(string(args[0]))
 		if !ok {
 			return [][]byte{I64(-1)}, nil
 		}
@@ -395,23 +566,30 @@ func (k *Kernel) dispatch(n *node, name string, args [][]byte) ([][]byte, error)
 }
 
 // SaveProcState implements sim.OS: it serializes pid's open-file table.
+// The returned slice aliases a per-node buffer reused across calls; callers
+// that retain it past the node's next save must copy (the commit path
+// appends it into the checkpoint image immediately). The scratch lives on
+// the node, not the kernel, because a coordinated commit saves every
+// process concurrently — one goroutine per process, so per-pid state is the
+// widest scratch that stays race-free.
 func (k *Kernel) SaveProcState(pid int) []byte {
 	n := k.node(pid)
-	fds := make([]int, 0, len(n.fds))
+	fds := n.saveFDs[:0]
 	for fd := range n.fds {
 		fds = append(fds, fd)
 	}
 	sort.Ints(fds)
-	var out []byte
-	out = append(out, I64(int64(len(fds)))...)
-	out = append(out, I64(int64(n.nextFD))...)
+	n.saveFDs = fds
+	out := appendI64(n.saveBuf[:0], int64(len(fds)))
+	out = appendI64(out, int64(n.nextFD))
 	for _, fd := range fds {
 		e := n.fds[fd]
-		out = append(out, I64(int64(fd))...)
-		out = append(out, I64(e.Offset)...)
-		out = append(out, I64(int64(len(e.Path)))...)
+		out = appendI64(out, int64(fd))
+		out = appendI64(out, e.Offset)
+		out = appendI64(out, int64(len(e.Path)))
 		out = append(out, e.Path...)
 	}
+	n.saveBuf = out
 	return out
 }
 
@@ -438,8 +616,8 @@ func (k *Kernel) RestoreProcState(pid int, blob []byte) {
 		}
 		path := string(blob[p : p+plen])
 		p += plen
-		if _, ok := n.fs[path]; !ok {
-			n.fs[path] = nil
+		if _, ok := n.file(path); !ok {
+			n.setFile(path, nil)
 		}
 		n.fds[int(fd)] = &fdEntry{Path: path, Offset: off}
 	}
@@ -457,6 +635,31 @@ func I64(v int64) []byte {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(v))
 	return b[:]
+}
+
+// growFile extends a file buffer to n bytes, zero-filling the extension
+// (write past EOF zero-fills the gap, and spare capacity may hold stale
+// bytes from before a truncate). Capacity grows with headroom so a stream
+// of small appends costs amortized O(1) reallocations instead of one exact
+// resize per write.
+func growFile(b []byte, n int64) []byte {
+	if int64(cap(b)) >= n {
+		old := len(b)
+		b = b[:n]
+		clear(b[old:])
+		return b
+	}
+	grown := make([]byte, n, n+n/2)
+	copy(grown, b)
+	return grown
+}
+
+// appendI64 appends v to buf in the same wire format without the
+// intermediate slice I64 escapes to the heap.
+func appendI64(buf []byte, v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return append(buf, b[:]...)
 }
 
 // Int decodes an int64 argument/result.

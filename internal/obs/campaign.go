@@ -67,6 +67,20 @@ type SnapshotMetrics struct {
 	// its snapshot — so the pair quantifies what memoization saves.
 	StepsReplayed int64
 	InjectionRuns int64
+	// PagesPrivatized and BytesCOW total the copy-on-write cost the
+	// campaign's forks paid: pages copied out of frozen templates on first
+	// touch and the bytes moved doing so. ForkSize distributes that cost
+	// per fork (bytes privatized over the fork's whole run), so the COW
+	// win — forks that touch a sliver of the template — is visible in
+	// metrics, not just the benchmark row.
+	PagesPrivatized int64
+	BytesCOW        int64
+	ForkSize        Histogram
+	// StoreHits and StoreMisses account the content-addressed snapshot
+	// store: a hit reuses a memoized template's snapshot cache outright, a
+	// miss builds (and publishes) a new one.
+	StoreHits   int64
+	StoreMisses int64
 }
 
 // AddSnapshot records one captured snapshot.
@@ -85,6 +99,32 @@ func (s *SnapshotMetrics) AddFork(stepsSaved int, ns int64) {
 	if ns >= 0 {
 		s.ForkLatency.Observe(ns)
 	}
+	s.mu.Unlock()
+}
+
+// AddCOW records one finished fork's copy-on-write cost: the pages it
+// privatized out of its frozen template and the bytes copied doing so.
+func (s *SnapshotMetrics) AddCOW(pages int, bytes int64) {
+	s.mu.Lock()
+	s.PagesPrivatized += int64(pages)
+	s.BytesCOW += bytes
+	s.ForkSize.Observe(bytes)
+	s.mu.Unlock()
+}
+
+// AddStoreHit records a snapshot-store lookup that reused a memoized
+// template; AddStoreMiss records one that had to build it.
+func (s *SnapshotMetrics) AddStoreHit() {
+	s.mu.Lock()
+	s.StoreHits++
+	s.mu.Unlock()
+}
+
+// AddStoreMiss records a snapshot-store lookup that found no memoized
+// template.
+func (s *SnapshotMetrics) AddStoreMiss() {
+	s.mu.Lock()
+	s.StoreMisses++
 	s.mu.Unlock()
 }
 
@@ -132,6 +172,12 @@ func (c *CampaignMetrics) WriteSummary(w io.Writer) error {
 	if s.Snapshots > 0 || s.Forks > 0 {
 		if _, err := fmt.Fprintf(w, "  snapshots=%d forks=%d steps-saved=%d fork-latency-mean=%dns\n",
 			s.Snapshots, s.Forks, s.StepsSaved, s.ForkLatency.Mean()); err != nil {
+			return err
+		}
+	}
+	if s.PagesPrivatized > 0 || s.BytesCOW > 0 || s.StoreHits > 0 || s.StoreMisses > 0 {
+		if _, err := fmt.Fprintf(w, "  cow pages-privatized=%d bytes-copied=%d fork-size-mean=%dB fork-size-p99=%dB store-hits=%d store-misses=%d\n",
+			s.PagesPrivatized, s.BytesCOW, s.ForkSize.Mean(), s.ForkSize.Quantile(0.99), s.StoreHits, s.StoreMisses); err != nil {
 			return err
 		}
 	}

@@ -153,6 +153,10 @@ type VistaMetrics struct {
 	// HashMisses counts pages that fell back to the byte comparison.
 	HashHits   int64
 	HashMisses int64
+	// PagesPrivatized counts pages a copy-on-write fork copied out of its
+	// frozen template on first touch; BytesCOW totals the bytes copied.
+	PagesPrivatized int64
+	BytesCOW        int64
 }
 
 // Metrics is the per-run registry. All slots are preallocated by NewMetrics
@@ -240,8 +244,8 @@ func (m *Metrics) WriteSnapshot(w io.Writer) error {
 	}
 	for i := range m.Vista {
 		v := &m.Vista[i]
-		fmt.Fprintf(w, "vista %d commits=%d rollbacks=%d pages_dirtied=%d undo_bytes=%d hash_hits=%d hash_misses=%d\n",
-			i, v.Commits, v.Rollbacks, v.PagesDirtied, v.UndoBytes, v.HashHits, v.HashMisses)
+		fmt.Fprintf(w, "vista %d commits=%d rollbacks=%d pages_dirtied=%d undo_bytes=%d hash_hits=%d hash_misses=%d pages_privatized=%d bytes_cow=%d\n",
+			i, v.Commits, v.Rollbacks, v.PagesDirtied, v.UndoBytes, v.HashHits, v.HashMisses, v.PagesPrivatized, v.BytesCOW)
 	}
 	return nil
 }

@@ -163,8 +163,9 @@ func (c *Ctx) Rand() uint64 {
 	c.before(event.Internal, event.TransientND, "rand")
 	v, logged := c.ndValue("rand", func() []byte {
 		var b [8]byte
+		r := c.p.rand() // materialize before counting this draw
 		c.p.rngDraws++
-		binary.LittleEndian.PutUint64(b[:], c.p.rng.Uint64())
+		binary.LittleEndian.PutUint64(b[:], r.Uint64())
 		return b[:]
 	})
 	c.after(event.Internal, event.TransientND, logged, 0, 0, "rand")
@@ -250,9 +251,7 @@ func (c *Ctx) Recv() (Msg, bool) {
 	if r := c.p.World.Recovery; r != nil {
 		if v, ok := r.SupplyND(c.p, "recv"); ok {
 			m := DecodeMsgRecord(v)
-			if m.SendIdx > c.p.RecvHW[m.From] {
-				c.p.RecvHW[m.From] = m.SendIdx
-			}
+			c.p.bumpRecvHW(m.From, m.SendIdx)
 			c.before(event.Receive, event.TransientND, "recv")
 			c.after(event.Receive, event.TransientND, true, m.ID, m.From, "recv")
 			return m, true
@@ -271,9 +270,7 @@ func (c *Ctx) Recv() (Msg, bool) {
 			m := *head.m
 			c.before(event.Receive, event.TransientND, "recv")
 			c.p.retained = append(c.p.retained, retainedMsg{m: &m, pos: rel})
-			if m.SendIdx > c.p.RecvHW[m.From] {
-				c.p.RecvHW[m.From] = m.SendIdx
-			}
+			c.p.bumpRecvHW(m.From, m.SendIdx)
 			logged := false
 			if r := c.p.World.Recovery; r != nil {
 				logged = r.RecordND(c.p, "recv", EncodeMsgRecord(m))
@@ -319,9 +316,7 @@ func (c *Ctx) Recv() (Msg, bool) {
 	c.p.inbox = append(c.p.inbox[:idx], c.p.inbox[idx+1:]...)
 	c.p.inboxChanged()
 	c.p.retained = append(c.p.retained, retainedMsg{m: m, pos: rel})
-	if m.SendIdx > c.p.RecvHW[m.From] {
-		c.p.RecvHW[m.From] = m.SendIdx
-	}
+	c.p.bumpRecvHW(m.From, m.SendIdx)
 	logged := false
 	if r := c.p.World.Recovery; r != nil {
 		logged = r.RecordND(c.p, "recv", EncodeMsgRecord(*m))

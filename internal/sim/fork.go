@@ -38,6 +38,42 @@ type ForkableRecovery interface {
 	ForkRecovery(w *World) Recovery
 }
 
+// Freezer is implemented by components (OS, Recovery) that can seal
+// themselves as immutable fork templates: after Freeze, the component is
+// never mutated again, and its Forkable* method returns structural-sharing
+// copy-on-write forks instead of deep copies.
+type Freezer interface {
+	Freeze()
+}
+
+// Freeze seals a quiescent world as an immutable fork template: components
+// that implement Freezer switch their fork paths from deep-copy to
+// copy-on-write, and the world itself must never be stepped again. Forks
+// taken afterwards are O(metadata); the template's pages are shared and
+// privatized by each fork on first write. Freeze is idempotent, and
+// freezing a world whose components lack Freezer is a no-op (forks simply
+// stay deep copies).
+func (w *World) Freeze() {
+	if w.frozen {
+		return
+	}
+	if f, ok := w.OS.(Freezer); ok {
+		f.Freeze()
+	}
+	if f, ok := w.Recovery.(Freezer); ok {
+		f.Freeze()
+	}
+	for _, p := range w.Procs {
+		if f, ok := p.Prog.(Freezer); ok {
+			f.Freeze()
+		}
+	}
+	w.frozen = true
+}
+
+// Frozen reports whether Freeze has sealed this world as a fork template.
+func (w *World) Frozen() bool { return w.frozen }
+
 // Fork returns an independent deep copy of the world, ready to resume from
 // the exact point the original has reached. Observability sinks (Metrics,
 // Tracer, DebugLog) and the Faults injector are NOT carried over — they are
@@ -66,7 +102,9 @@ func (w *World) Fork() (*World, error) {
 	for i, o := range w.Outputs {
 		nw.Outputs[i] = o[:len(o):len(o)]
 	}
-	if w.Trace != nil {
+	if w.Trace != nil && w.RecordTrace {
+		// With RecordTrace off nothing ever appends to or reads the copy,
+		// so campaign forks skip it (it is not cheap at fork rates).
 		nw.Trace = w.Trace.Fork()
 	}
 	nw.Procs = make([]*Proc, len(w.Procs))
@@ -122,24 +160,50 @@ func (p *Proc) fork(nw *World) (*Proc, error) {
 		Crashes:     p.Crashes,
 		InputCursor: p.InputCursor,
 		SendSeq:     p.SendSeq,
-		RecvHW:      make(map[int]int64, len(p.RecvHW)),
 		stops:       append([]int(nil), p.stops...),
 		signals:     append([]pendingSignal(nil), p.signals...),
 		dead:        p.dead,
 		inboxMin:    p.inboxMin,
 		inboxMinOK:  p.inboxMinOK,
 	}
-	for k, v := range p.RecvHW {
-		np.RecvHW[k] = v
+	// Single-process worlds never populate RecvHW; bumpRecvHW rebuilds the
+	// map on the fork's first receive.
+	if len(p.RecvHW) > 0 {
+		np.RecvHW = make(map[int]int64, len(p.RecvHW))
+		for k, v := range p.RecvHW {
+			np.RecvHW[k] = v
+		}
 	}
-	// rand.Rand state cannot be copied; reseed and fast-forward the same
-	// number of draws to reach the identical point in the stream. Study
-	// workloads never call Ctx.Rand, so this is free in campaigns.
-	np.rng = rand.New(rand.NewSource(p.rngSeed))
-	for i := int64(0); i < p.rngDraws; i++ {
-		np.rng.Uint64()
-	}
+	// np.rng stays nil: rand.Rand state cannot be copied, and seeding a
+	// fresh generator per fork would dominate fork cost for the campaign
+	// workloads that never call Ctx.Rand. The recorded seed and draw count
+	// let rand() rebuild the identical stream position on first draw.
 	np.ctx = newCtx(np)
 	np.ctx.Inputs = p.ctx.Inputs // scripted input is immutable
 	return np, nil
+}
+
+// bumpRecvHW advances the per-sender receive high-water mark, building the
+// map on first use (forks and single-process worlds start without one).
+func (p *Proc) bumpRecvHW(from int, idx int64) {
+	if idx <= p.RecvHW[from] {
+		return
+	}
+	if p.RecvHW == nil {
+		p.RecvHW = make(map[int]int64)
+	}
+	p.RecvHW[from] = idx
+}
+
+// rand returns the process's transient-ND generator, materializing it on
+// first use: a fresh (or forked) process reseeds and fast-forwards the
+// recorded number of draws to reach the exact point in the stream.
+func (p *Proc) rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rngSeed))
+		for i := int64(0); i < p.rngDraws; i++ {
+			p.rng.Uint64()
+		}
+	}
+	return p.rng
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -88,79 +89,106 @@ func (p *Proc) AppendCheckpointImage(buf []byte, essential bool) ([]byte, error)
 	return buf, nil
 }
 
+// Checkpoint images are validated with static errors: restore sits on the
+// rollback hot path, and a malformed image aborts recovery either way, so
+// the byte position a formatted message would carry isn't worth an
+// allocation per check.
+var (
+	errImageEmpty     = errors.New("sim: empty checkpoint image")
+	errImageTruncated = errors.New("sim: checkpoint image truncated")
+	errImageOverrun   = errors.New("sim: checkpoint image section overruns")
+)
+
+// getI64 decodes the next little-endian word of a checkpoint image,
+// advancing *pos.
+func getI64(img []byte, pos *int) (int64, error) {
+	if *pos+8 > len(img) {
+		return 0, errImageTruncated
+	}
+	v := int64(binary.LittleEndian.Uint64(img[*pos:]))
+	*pos += 8
+	return v, nil
+}
+
 // RestoreCheckpointImage is the inverse of CheckpointImage: it reloads
 // application state (full or essential, per the image's mode byte), the
-// session counters, and kernel state.
+// session counters, and kernel state. Like its Append counterpart it is
+// allocation-free in the steady state — the receive-highwater map is
+// cleared and refilled in place rather than rebuilt, and image parsing
+// reads words directly out of img.
+//
+//failtrans:hotpath
 func (p *Proc) RestoreCheckpointImage(img []byte) error {
 	if len(img) < 1 {
-		return fmt.Errorf("sim: empty checkpoint image")
+		return errImageEmpty
 	}
 	mode := img[0]
 	img = img[1:]
 	pos := 0
-	getI64 := func() (int64, error) {
-		if pos+8 > len(img) {
-			return 0, fmt.Errorf("sim: checkpoint image truncated at byte %d", pos)
-		}
-		v := int64(binary.LittleEndian.Uint64(img[pos : pos+8]))
-		pos += 8
-		return v, nil
-	}
-	cursor, err := getI64()
+	cursor, err := getI64(img, &pos)
 	if err != nil {
 		return err
 	}
-	sendSeq, err := getI64()
+	sendSeq, err := getI64(img, &pos)
 	if err != nil {
 		return err
 	}
-	nhw, err := getI64()
+	nhw, err := getI64(img, &pos)
 	if err != nil {
 		return err
 	}
-	hw := make(map[int]int64, nhw)
-	for i := int64(0); i < nhw; i++ {
-		s, err := getI64()
-		if err != nil {
-			return err
-		}
-		v, err := getI64()
-		if err != nil {
-			return err
-		}
-		hw[int(s)] = v
+	if pos+int(nhw)*16 > len(img) {
+		return errImageTruncated
 	}
-	appLen, err := getI64()
+	hwPos := pos
+	pos += int(nhw) * 16
+	appLen, err := getI64(img, &pos)
 	if err != nil {
 		return err
 	}
-	if pos+int(appLen) > len(img) {
-		return fmt.Errorf("sim: checkpoint image app section overruns")
+	if appLen < 0 || pos+int(appLen) > len(img) {
+		return errImageOverrun
 	}
 	app := img[pos : pos+int(appLen)]
 	pos += int(appLen)
-	kernLen, err := getI64()
+	kernLen, err := getI64(img, &pos)
 	if err != nil {
 		return err
 	}
-	if pos+int(kernLen) > len(img) {
-		return fmt.Errorf("sim: checkpoint image kernel section overruns")
+	if kernLen < 0 || pos+int(kernLen) > len(img) {
+		return errImageOverrun
 	}
 	kern := img[pos : pos+int(kernLen)]
 	if mode == 1 {
 		ps, ok := p.Prog.(PartialState)
 		if !ok {
+			//failtrans:alloc cold error path: a mode-mismatched image aborts recovery outright
 			return fmt.Errorf("sim: essential image for %s, which lacks PartialState", p.Prog.Name())
 		}
 		if err := ps.UnmarshalEssential(app); err != nil {
+			//failtrans:alloc cold error path: a corrupt image aborts recovery outright
 			return fmt.Errorf("sim: unmarshal %s essential state: %w", p.Prog.Name(), err)
 		}
 	} else if err := p.Prog.UnmarshalState(app); err != nil {
+		//failtrans:alloc cold error path: a corrupt image aborts recovery outright
 		return fmt.Errorf("sim: unmarshal %s state: %w", p.Prog.Name(), err)
 	}
+	// Everything below here cannot fail: the image is fully validated, so
+	// the in-place update leaves no torn state behind.
 	p.InputCursor = int(cursor)
 	p.SendSeq = sendSeq
-	p.RecvHW = hw
+	if p.RecvHW == nil {
+		//failtrans:alloc first restore of a fork that started with no highwater map; every later rollback reuses it
+		p.RecvHW = make(map[int]int64, nhw)
+	} else {
+		clear(p.RecvHW)
+	}
+	for i := int64(0); i < nhw; i++ {
+		s := int64(binary.LittleEndian.Uint64(img[hwPos:]))
+		v := int64(binary.LittleEndian.Uint64(img[hwPos+8:]))
+		hwPos += 16
+		p.RecvHW[int(s)] = v
+	}
 	if p.World.OS != nil {
 		p.World.OS.RestoreProcState(p.Index, kern)
 	}

@@ -46,10 +46,14 @@ type Proc struct {
 	// rollback, gated by position.
 	replayQueue []retainedMsg
 
+	// rng is materialized lazily by rand(): seeding a rand.Rand fills a
+	// 607-word generator, which would dominate fork cost for the many
+	// workloads that never draw from it.
 	rng *rand.Rand
-	// rngSeed and rngDraws make the rng forkable: a fork reseeds a fresh
-	// generator and fast-forwards rngDraws draws to reach the same point
-	// in the stream (rand.Rand state is not otherwise copyable).
+	// rngSeed and rngDraws make the rng forkable: a fork records the seed
+	// and draw count, and the first draw reseeds a fresh generator and
+	// fast-forwards to the same point in the stream (rand.Rand state is
+	// not otherwise copyable).
 	rngSeed  int64
 	rngDraws int64
 
@@ -193,6 +197,9 @@ type World struct {
 	stepCount int
 	seed      int64
 	inited    bool
+	// frozen marks a world sealed by Freeze as an immutable fork template:
+	// stepping it is a bug, and its components fork copy-on-write.
+	frozen bool
 }
 
 // NewWorld creates a computation of the given programs, seeded
@@ -211,7 +218,6 @@ func NewWorld(seed int64, progs ...Program) *World {
 			Index:   i,
 			Prog:    prog,
 			World:   w,
-			rng:     rand.New(rand.NewSource(procSeed)),
 			rngSeed: procSeed,
 			RecvHW:  make(map[int]int64),
 		}
@@ -416,6 +422,9 @@ func (w *World) readyAt(p *Proc) (time.Duration, bool) {
 // process and run one Program step. It returns false when no process can
 // run.
 func (w *World) Step() (bool, error) {
+	if w.frozen {
+		return false, fmt.Errorf("sim: stepping a frozen template world")
+	}
 	var pick *Proc
 	var pickAt time.Duration
 	for _, p := range w.Procs {

@@ -16,6 +16,15 @@
 // across commit cycles, page comparison is word-wise, and a per-page hash
 // cache (maintained across commits) lets SetContents reject changed pages
 // after a single pass over the incoming image.
+//
+// A segment also supports the same trick one level up, for the fault
+// campaign engine that forks whole worlds off memoized clean prefixes:
+// Freeze seals a segment as an immutable template, and Fork of a frozen
+// segment returns a copy-on-write fork that shares the template's memory
+// image and page-hash cache. A fork privatizes a page into its private
+// overlay on first write — exactly the Discount Checking first-touch trap,
+// applied to the meta-level engine — so forking costs O(metadata), not
+// O(state), and each fork pays only for the pages it actually changes.
 package vista
 
 import (
@@ -42,6 +51,11 @@ type Stats struct {
 type undoRec struct {
 	page int
 	data []byte
+	// borrowed marks a before-image that aliases memory the record does
+	// not own — a frozen template's page (immutable, so the slice IS the
+	// before-image) or an undo buffer inherited from the template at fork.
+	// Borrowed buffers must never be released into the fork's pool.
+	borrowed bool
 }
 
 // pageBitset tracks dirty pages as one bit per page. Bits are cleared in
@@ -57,19 +71,45 @@ func (b pageBitset) clear(p int)    { b[p>>6] &^= 1 << (uint(p) & 63) }
 // The zero value is not usable; call NewSegment.
 type Segment struct {
 	pageSize int
-	mem      []byte
-	undo     []undoRec
+	// size is the logical extent in bytes. For an ordinary (flat) segment
+	// len(mem) == size; a frozen template's mem is padded to a page
+	// boundary beyond size, and a COW fork's mem is nil (its contents live
+	// in overlay and base).
+	size int
+	mem  []byte
+	undo []undoRec
 	dirty    pageBitset
 	nDirty   int
 	savedReg []byte
+
+	// frozen marks a sealed template: mutators panic, and Fork returns a
+	// copy-on-write fork sharing this segment's memory instead of a deep
+	// copy. A frozen segment is immutable forever, so any number of forks
+	// may read it concurrently without locking.
+	frozen bool
+	// base, when non-nil, is the frozen template this segment was COW-
+	// forked from. Page contents are read overlay-first, then base; pages
+	// past the base's extent (the fork grew) read as zeros until written.
+	base *Segment
+	// overlay holds the fork's privatized pages: full pageSize buffers
+	// (drawn from bufPool) whose logical tail beyond the extent is kept
+	// zeroed, so growth re-exposes zeros exactly like flat memory does.
+	overlay map[int][]byte
 
 	// pageHash caches, per page, the hash of the page's current contents
 	// whenever the matching hashValid bit is set. SetContents maintains
 	// it so a changed incoming page is detected from the hash alone —
 	// without re-reading the segment's committed bytes. Write-path
 	// updates (whose contents SetContents never sees) just invalidate.
+	// A COW fork inherits the template's cache (valid entries carry over
+	// because fork shares the template's bytes), so its first commit
+	// skips clean pages without ever reading them.
 	pageHash  []uint64
 	hashValid pageBitset
+	// hashShared marks pageHash/hashValid as clamped views of the frozen
+	// template's arrays: valid to read (the shared bytes cannot change),
+	// privatized by privatizeHash before the first invalidation or update.
+	hashShared bool
 
 	// bufPool recycles undo-record page buffers across commit cycles.
 	bufPool [][]byte
@@ -77,6 +117,12 @@ type Segment struct {
 	// CommitCount and LoggedBytes accumulate usage statistics.
 	CommitCount int
 	LoggedBytes int64
+
+	// CowPages and CowBytes count pages privatized out of the frozen base
+	// and the bytes copied doing so — the total copy-on-write cost this
+	// fork has paid since it was created.
+	CowPages int
+	CowBytes int64
 
 	// Metrics, if non-nil, receives the segment's page-diff and undo-log
 	// counters (plain increments: the commit hot path stays at zero
@@ -94,6 +140,7 @@ func NewSegment(size, pageSize int) *Segment {
 	}
 	s := &Segment{
 		pageSize: pageSize,
+		size:     size,
 		mem:      make([]byte, size),
 	}
 	s.sizeTracking()
@@ -104,10 +151,24 @@ func NewSegment(size, pageSize int) *Segment {
 func (s *Segment) PageSize() int { return s.pageSize }
 
 // Size returns the current segment size in bytes.
-func (s *Segment) Size() int { return len(s.mem) }
+func (s *Segment) Size() int { return s.size }
+
+// Frozen reports whether the segment has been sealed as a COW template.
+func (s *Segment) Frozen() bool { return s.frozen }
 
 // pages returns the current page count.
-func (s *Segment) pages() int { return (len(s.mem) + s.pageSize - 1) / s.pageSize }
+func (s *Segment) pages() int { return (s.size + s.pageSize - 1) / s.pageSize }
+
+// pageExtent returns the byte range [start,end) page p covers within the
+// segment's logical extent.
+func (s *Segment) pageExtent(p int) (start, end int) {
+	start = p * s.pageSize
+	end = start + s.pageSize
+	if end > s.size {
+		end = s.size
+	}
+	return start, end
+}
 
 // sizeTracking (re)sizes the dirty/hash structures to the segment size,
 // preserving existing entries.
@@ -128,7 +189,14 @@ func (s *Segment) sizeTracking() {
 // grow extends the segment to at least n bytes. New memory is zeroed and
 // considered committed (like fresh pages from the OS).
 func (s *Segment) grow(n int) {
-	if n <= len(s.mem) {
+	if n <= s.size {
+		return
+	}
+	if s.base != nil {
+		// COW fork: new pages materialize lazily; until written they read
+		// as zeros through the overlay-then-base lookup.
+		s.size = n
+		s.sizeTracking()
 		return
 	}
 	if n <= cap(s.mem) {
@@ -142,7 +210,16 @@ func (s *Segment) grow(n int) {
 		copy(bigger, s.mem)
 		s.mem = bigger
 	}
+	s.size = n
 	s.sizeTracking()
+}
+
+// mustMutable panics if the segment has been frozen: a template is shared
+// by every fork taken from it, so writing it would corrupt them all.
+func (s *Segment) mustMutable() {
+	if s.frozen {
+		panic("vista: mutation of frozen template segment")
+	}
 }
 
 // pageBuf returns an n-byte buffer for an undo record, recycling pooled
@@ -159,34 +236,131 @@ func (s *Segment) pageBuf(n int) []byte {
 	return make([]byte, n, s.pageSize)
 }
 
-// releaseUndo returns every undo record's page buffer to the pool and
-// truncates the log, clearing the records' dirty bits in place.
+// releaseUndo returns every owned undo record's page buffer to the pool and
+// truncates the log, clearing the records' dirty bits in place. Borrowed
+// before-images (template pages, inherited undo buffers) are dropped, not
+// pooled — the fork does not own them.
 func (s *Segment) releaseUndo() {
 	for i := range s.undo {
 		s.dirty.clear(s.undo[i].page)
-		s.bufPool = append(s.bufPool, s.undo[i].data)
+		if !s.undo[i].borrowed {
+			s.bufPool = append(s.bufPool, s.undo[i].data)
+		}
 		s.undo[i].data = nil
+		s.undo[i].borrowed = false
 	}
 	s.undo = s.undo[:0]
 	s.nDirty = 0
 }
 
+// basePage returns up to n bytes of frozen template page p. Freeze pads the
+// template's mem to a page boundary, so every page below its padded extent
+// is fully resident; beyond it (the fork grew) the page reads as zeros and
+// basePage returns a short (possibly nil) slice.
+func (s *Segment) basePage(p, n int) []byte {
+	start := p * s.pageSize
+	if start >= len(s.mem) {
+		return nil
+	}
+	end := start + n
+	if end > len(s.mem) {
+		end = len(s.mem)
+	}
+	return s.mem[start:end]
+}
+
+// resident returns the current logical contents of page p without copying.
+// The returned slice may be shorter than the page extent; the missing tail
+// reads as zeros (a COW fork reading past the frozen base's extent).
+func (s *Segment) resident(p int) []byte {
+	start, end := s.pageExtent(p)
+	if s.base == nil {
+		return s.mem[start:end]
+	}
+	if b, ok := s.overlay[p]; ok {
+		return b[:end-start]
+	}
+	return s.base.basePage(p, end-start)
+}
+
+// privatize gives page p of a COW fork its own overlay buffer, copying the
+// current logical contents out of the frozen base — Discount Checking's
+// first-touch copy, applied to the fork engine itself. No-op on flat
+// segments and already-private pages.
+func (s *Segment) privatize(p int) {
+	if s.base == nil {
+		return
+	}
+	if _, ok := s.overlay[p]; ok {
+		return
+	}
+	buf := s.pageBuf(s.pageSize)
+	n := copy(buf, s.base.basePage(p, s.pageSize))
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	if s.overlay == nil {
+		//failtrans:alloc one-time per fork: the overlay map is deferred out of cowFork to the first privatized page
+		s.overlay = make(map[int][]byte, 8)
+	}
+	s.overlay[p] = buf
+	s.CowPages++
+	s.CowBytes += int64(n)
+	if m := s.Metrics; m != nil {
+		m.PagesPrivatized++
+		m.BytesCOW += int64(n)
+	}
+}
+
+// privatizeHash unshares the hash cache from the frozen template before
+// its first mutation. Shared reads need no copy — the template's entries
+// stay correct for every page still served from its bytes.
+func (s *Segment) privatizeHash() {
+	if !s.hashShared {
+		return
+	}
+	//failtrans:alloc one-time per fork: the hash cache is COW — shared at fork, copied at first invalidation
+	s.pageHash = append([]uint64(nil), s.pageHash...)
+	//failtrans:alloc one-time per fork: the hash cache is COW — shared at fork, copied at first invalidation
+	s.hashValid = append(pageBitset(nil), s.hashValid...)
+	s.hashShared = false
+}
+
+// writablePage returns the mutable extent of page p, privatizing it first
+// on a COW fork.
+func (s *Segment) writablePage(p int) []byte {
+	start, end := s.pageExtent(p)
+	if s.base == nil {
+		return s.mem[start:end]
+	}
+	s.privatize(p)
+	return s.overlay[p][:end-start]
+}
+
 // touchPage logs the before-image of page p on its first write since the
-// last commit.
+// last commit. On a COW fork whose page still lives in the frozen base, the
+// base's slice is borrowed as the before-image outright — the template can
+// never change, so no copy is needed.
 func (s *Segment) touchPage(p int) {
 	if s.dirty.has(p) {
 		return
 	}
 	s.dirty.set(p)
 	s.nDirty++
-	start := p * s.pageSize
-	end := start + s.pageSize
-	if end > len(s.mem) {
-		end = len(s.mem)
+	start, end := s.pageExtent(p)
+	var img []byte
+	borrowed := false
+	if s.base != nil {
+		if _, ok := s.overlay[p]; !ok {
+			img = s.base.basePage(p, end-start)
+			borrowed = true
+		}
 	}
-	img := s.pageBuf(end - start)
-	copy(img, s.mem[start:end])
-	s.undo = append(s.undo, undoRec{page: p, data: img})
+	if !borrowed {
+		img = s.pageBuf(end - start)
+		copy(img, s.resident(p))
+	}
+	s.undo = append(s.undo, undoRec{page: p, data: img, borrowed: borrowed})
 	s.LoggedBytes += int64(len(img))
 	if m := s.Metrics; m != nil {
 		m.PagesDirtied++
@@ -201,6 +375,7 @@ func (s *Segment) touchPage(p int) {
 //
 //failtrans:hotpath
 func (s *Segment) Write(off int, data []byte) error {
+	s.mustMutable()
 	if off < 0 {
 		//failtrans:alloc cold error path: a negative offset aborts the write, so the formatting never runs in a committing cycle
 		return fmt.Errorf("vista: negative offset %d", off)
@@ -209,11 +384,25 @@ func (s *Segment) Write(off int, data []byte) error {
 		return nil
 	}
 	s.grow(off + len(data))
-	for p := off / s.pageSize; p <= (off+len(data)-1)/s.pageSize; p++ {
+	first, last := off/s.pageSize, (off+len(data)-1)/s.pageSize
+	s.privatizeHash()
+	for p := first; p <= last; p++ {
 		s.touchPage(p)
 		s.hashValid.clear(p)
 	}
-	copy(s.mem[off:], data)
+	if s.base == nil {
+		copy(s.mem[off:], data)
+		return nil
+	}
+	for p := first; p <= last; p++ {
+		start := p * s.pageSize
+		page := s.writablePage(p)
+		in := 0
+		if off > start {
+			in = off - start
+		}
+		copy(page[in:], data[start+in-off:])
+	}
 	return nil
 }
 
@@ -232,10 +421,32 @@ func (s *Segment) Read(off, n int) ([]byte, error) {
 // ReadInto fills dst with len(dst) bytes starting at off, without
 // allocating.
 func (s *Segment) ReadInto(off int, dst []byte) error {
-	if off < 0 || off+len(dst) > len(s.mem) {
-		return fmt.Errorf("vista: read [%d,%d) outside segment of %d bytes", off, off+len(dst), len(s.mem))
+	if off < 0 || off+len(dst) > s.size {
+		return fmt.Errorf("vista: read [%d,%d) outside segment of %d bytes", off, off+len(dst), s.size)
 	}
-	copy(dst, s.mem[off:])
+	if s.base == nil {
+		copy(dst, s.mem[off:])
+		return nil
+	}
+	for filled := 0; filled < len(dst); {
+		pos := off + filled
+		p := pos / s.pageSize
+		start, end := s.pageExtent(p)
+		n := end - pos
+		if n > len(dst)-filled {
+			n = len(dst) - filled
+		}
+		r := s.resident(p)
+		in := pos - start
+		copied := 0
+		if in < len(r) {
+			copied = copy(dst[filled:filled+n], r[in:])
+		}
+		for i := copied; i < n; i++ {
+			dst[filled+i] = 0
+		}
+		filled += n
+	}
 	return nil
 }
 
@@ -247,13 +458,16 @@ func (s *Segment) ReadInto(off int, dst []byte) error {
 // Each incoming page is hashed in one pass and compared against the cached
 // hash of the resident page, so clean pages are skipped without reading
 // the resident bytes at all; only pages without a cached hash yet fall
-// back to a word-wise byte comparison.
+// back to a word-wise byte comparison. On a COW fork, a page is privatized
+// only when it differs — clean pages keep reading through to the shared
+// template.
 //
 //failtrans:hotpath
 func (s *Segment) SetContents(data []byte) {
+	s.mustMutable()
 	s.grow(len(data))
 	// Pages beyond len(data) that contain old bytes must be cleared.
-	limit := len(s.mem)
+	limit := s.size
 	for start := 0; start < limit; start += s.pageSize {
 		end := start + s.pageSize
 		if end > limit {
@@ -285,19 +499,22 @@ func (s *Segment) SetContents(data []byte) {
 			if m := s.Metrics; m != nil {
 				m.HashMisses++
 			}
-		} else if pageEqual(s.mem[start:end], src) {
+		} else if pageEqual(s.resident(p), src) {
 			// First sighting of a clean page: adopt its hash so the
 			// next commit cycle skips the byte comparison path on a
 			// mismatch.
+			s.privatizeHash()
 			s.pageHash[p] = h
 			s.hashValid.set(p)
 			continue
 		}
 		s.touchPage(p)
-		n := copy(s.mem[start:end], src)
-		for i := start + n; i < end; i++ {
-			s.mem[i] = 0
+		page := s.writablePage(p)
+		n := copy(page, src)
+		for i := n; i < len(page); i++ {
+			page[i] = 0
 		}
+		s.privatizeHash()
 		s.pageHash[p] = h
 		s.hashValid.set(p)
 	}
@@ -352,18 +569,17 @@ func pageHashOf(src []byte, extent int) uint64 {
 	return ((h0*mul^h1)*mul^h2)*mul ^ h3
 }
 
-// pageEqual compares a memory page against src, treating bytes beyond
-// len(src) as zero. The common all-but-tail comparison runs word-wise
-// through bytes.Equal.
+// pageEqual compares two views of one page extent, treating bytes beyond
+// either slice's length as zero. The common full-length comparison runs
+// word-wise through bytes.Equal.
 func pageEqual(page, src []byte) bool {
-	n := len(src)
-	if n > len(page) {
-		n = len(page)
+	if len(page) > len(src) {
+		page, src = src, page
 	}
-	if !bytes.Equal(page[:n], src[:n]) {
+	if !bytes.Equal(src[:len(page)], page) {
 		return false
 	}
-	for _, b := range page[n:] {
+	for _, b := range src[len(page):] {
 		if b != 0 {
 			return false
 		}
@@ -380,19 +596,84 @@ func (s *Segment) Contents() []byte {
 // slice — the zero-allocation companion of Contents for callers that reuse
 // a buffer across commit cycles.
 func (s *Segment) AppendContents(buf []byte) []byte {
-	return append(buf, s.mem...)
+	if s.base == nil {
+		return append(buf, s.mem[:s.size]...)
+	}
+	np := s.pages()
+	for p := 0; p < np; p++ {
+		start, end := s.pageExtent(p)
+		r := s.resident(p)
+		buf = append(buf, r...)
+		for i := start + len(r); i < end; i++ {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
 }
 
-// Fork returns an independent deep copy of the segment, mid-transaction
-// state included: memory image, undo log (with copied before-images — the
-// original pools and reuses its page buffers), dirty set and hash cache all
-// carry over, so a rollback of either copy behaves identically. The buffer
-// pool and Metrics sink do not carry over (the fork warms its own pool;
+// ContentDigest folds every page's logical contents and the saved register
+// file into one deterministic 64-bit value — the segment's contribution to
+// a snapshot's content address. Two segments with identical committed
+// state, extent and registers digest identically whether they are flat,
+// frozen, or COW forks.
+func (s *Segment) ContentDigest() uint64 {
+	const mul = 0x9E3779B97F4A7C15
+	h := uint64(0x5E97A11DC0117EC7)
+	h = (h ^ uint64(s.size)) * mul
+	np := s.pages()
+	for p := 0; p < np; p++ {
+		start, end := s.pageExtent(p)
+		h = (h ^ pageHashOf(s.resident(p), end-start)) * mul
+	}
+	h = (h ^ uint64(len(s.savedReg))) * mul
+	for _, c := range s.savedReg {
+		h = (h ^ uint64(c)) * mul
+	}
+	return h
+}
+
+// Freeze seals the segment as an immutable copy-on-write template: every
+// subsequent Fork returns an O(metadata) COW fork sharing this segment's
+// memory image and page-hash cache, and every mutator panics. The memory
+// image is padded to a page boundary so forks can borrow whole-page slices
+// without bounds juggling. A frozen segment may be forked concurrently from
+// any number of goroutines without locking — nothing ever writes it again.
+func (s *Segment) Freeze() {
+	if s.frozen {
+		return
+	}
+	if s.base != nil {
+		// Freezing a COW fork: materialize it flat first, so forks taken
+		// from this template never chase a base chain.
+		flat := make([]byte, 0, s.pages()*s.pageSize)
+		flat = s.AppendContents(flat)
+		s.mem = flat
+		s.base = nil
+		s.overlay = nil
+	}
+	if padded := s.pages() * s.pageSize; len(s.mem) < padded {
+		s.mem = append(s.mem, make([]byte, padded-len(s.mem))...)
+	}
+	s.frozen = true
+}
+
+// Fork returns an independent copy of the segment, mid-transaction state
+// included: memory image, undo log, dirty set and hash cache all carry
+// over, so a rollback of either copy behaves identically. The buffer pool
+// and Metrics sink do not carry over (the fork warms its own pool;
 // observability is per-run).
+//
+// Forking a frozen template is O(metadata): the fork shares the template's
+// memory image and privatizes pages only as it writes them. Forking an
+// ordinary segment deep-copies, as a mutable segment cannot be safely
+// shared.
 func (s *Segment) Fork() *Segment {
+	if s.frozen {
+		return s.cowFork()
+	}
 	ns := &Segment{
 		pageSize:    s.pageSize,
-		mem:         append([]byte(nil), s.mem...),
+		size:        s.size,
 		undo:        make([]undoRec, len(s.undo)),
 		dirty:       append(pageBitset(nil), s.dirty...),
 		nDirty:      s.nDirty,
@@ -402,8 +683,47 @@ func (s *Segment) Fork() *Segment {
 		CommitCount: s.CommitCount,
 		LoggedBytes: s.LoggedBytes,
 	}
+	if s.base == nil {
+		ns.mem = append([]byte(nil), s.mem[:s.size]...)
+	} else {
+		// Deep fork of a COW fork: materialize the overlay-then-base view.
+		ns.mem = s.AppendContents(make([]byte, 0, s.size))
+	}
 	for i, rec := range s.undo {
 		ns.undo[i] = undoRec{page: rec.page, data: append([]byte(nil), rec.data...)}
+	}
+	return ns
+}
+
+// cowFork builds a copy-on-write fork of a frozen template. Only the small
+// per-page metadata (dirty set, hash cache, undo headers) is copied; the
+// memory image and any pending undo before-images are shared with the
+// template, which Freeze guarantees can never change.
+func (s *Segment) cowFork() *Segment {
+	// Everything possible is shared or deferred: the hash cache stays a
+	// clamped view of the template's arrays until first invalidation
+	// (privatizeHash), and the overlay map waits for the first privatized
+	// page. Only the dirty bitset is copied — touchPage mutates it on the
+	// fork's first write, which for most campaign forks is immediate.
+	nd := len(s.dirty)
+	words := make([]uint64, nd)
+	ns := &Segment{
+		pageSize:    s.pageSize,
+		size:        s.size,
+		base:        s,
+		undo:        make([]undoRec, len(s.undo)),
+		dirty:       pageBitset(words[0:nd:nd]),
+		nDirty:      s.nDirty,
+		savedReg:    append([]byte(nil), s.savedReg...),
+		pageHash:    s.pageHash[:len(s.pageHash):len(s.pageHash)],
+		hashValid:   pageBitset(s.hashValid[:len(s.hashValid):len(s.hashValid)]),
+		hashShared:  true,
+		CommitCount: s.CommitCount,
+		LoggedBytes: s.LoggedBytes,
+	}
+	copy(ns.dirty, s.dirty)
+	for i, rec := range s.undo {
+		ns.undo[i] = undoRec{page: rec.page, data: rec.data, borrowed: true}
 	}
 	return ns
 }
@@ -419,6 +739,7 @@ func (s *Segment) DirtyPages() int { return s.nDirty }
 //
 //failtrans:hotpath
 func (s *Segment) Commit(registers []byte) Stats {
+	s.mustMutable()
 	st := Stats{Pages: s.nDirty, Bytes: s.nDirty*s.pageSize + len(registers)}
 	s.savedReg = append(s.savedReg[:0], registers...)
 	s.releaseUndo()
@@ -429,21 +750,40 @@ func (s *Segment) Commit(registers []byte) Stats {
 	return st
 }
 
-// Rollback applies the undo log in reverse, returning the segment to its
-// last committed state, and returns the saved register file. After a
-// simulated crash this is exactly recovery: the undo log is persistent.
-// Restored pages' hash cache entries are invalidated (their contents no
-// longer match what SetContents last hashed).
-func (s *Segment) Rollback() []byte {
+// RollbackPages applies the undo log in reverse, returning the segment to
+// its last committed state, without copying out the saved register file —
+// the zero-allocation form of Rollback for recovery paths that read the
+// registers elsewhere. After a simulated crash this is exactly recovery:
+// the undo log is persistent. Restored pages' hash cache entries are
+// invalidated (their contents no longer match what SetContents last
+// hashed).
+//
+//failtrans:hotpath
+func (s *Segment) RollbackPages() {
+	s.mustMutable()
 	for i := len(s.undo) - 1; i >= 0; i-- {
 		rec := s.undo[i]
-		copy(s.mem[rec.page*s.pageSize:], rec.data)
+		page := s.writablePage(rec.page)
+		n := copy(page, rec.data)
+		// A before-image shorter than the current extent means the page
+		// grew after it was touched; the grown region was committed as
+		// zeros, so restore zeros there.
+		for j := n; j < len(page); j++ {
+			page[j] = 0
+		}
+		s.privatizeHash()
 		s.hashValid.clear(rec.page)
 	}
 	s.releaseUndo()
 	if m := s.Metrics; m != nil {
 		m.Rollbacks++
 	}
+}
+
+// Rollback applies the undo log in reverse and returns a copy of the saved
+// register file.
+func (s *Segment) Rollback() []byte {
+	s.RollbackPages()
 	reg := make([]byte, len(s.savedReg))
 	copy(reg, s.savedReg)
 	return reg
