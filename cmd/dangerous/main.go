@@ -3,15 +3,27 @@
 // Lose-work invariant and make recovery from a propagation failure
 // impossible.
 //
-// With -demo, it reproduces the paper's Figures 5 and 6. Otherwise it reads
-// a machine description from the file named by -f (or stdin):
+// It accepts four input modes, mutually exclusive:
 //
-//	states <n>
-//	start <state>
-//	crash <state>
-//	edge <from> <to> det|transient|fixed [label ...]
+//   - -demo reproduces the paper's Figures 5 and 6;
 //
-// and prints the coloring and the safe commit states.
+//   - -trace builds the executed-path machine of one process from a
+//     recorded run trace (cmd/ftsim -trace), exactly as
+//     statemachine.FromExecution does inside the recovery checkers;
+//
+//   - -ledger reports a machine mined from a campaign ledger
+//     (ftbench -ledger / ftsim -ledger), merged across every run of one
+//     (study, app, protocol) key;
+//
+//   - otherwise it reads a machine description from the file named by -f
+//     (or stdin):
+//
+//     states <n>
+//     start <state>
+//     crash <state>
+//     edge <from> <to> det|transient|fixed [label ...]
+//
+// In every mode it prints the coloring and the safe commit states.
 package main
 
 import (
@@ -23,34 +35,113 @@ import (
 	"strings"
 
 	"failtrans/internal/event"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/statemachine"
+	"failtrans/internal/trace"
 )
 
 func main() {
 	demo := flag.Bool("demo", false, "reproduce the paper's Figure 5 and Figure 6 examples")
 	file := flag.String("f", "", "machine description file (default: stdin)")
+	traceFile := flag.String("trace", "", "build the machine from a recorded run trace (cmd/ftsim -trace)")
+	procID := flag.Int("proc", 0, "with -trace: process whose events form the path")
+	crashed := flag.Bool("crashed", true, "with -trace: treat the path's final state as a crash state")
+	ledgerFile := flag.String("ledger", "", "report a machine mined from this campaign ledger (ftbench -ledger)")
+	key := flag.String("key", "", "with -ledger: machine key study/app/protocol (default: first mined)")
 	dot := flag.String("dot", "", "also write a Graphviz rendering of the coloring to this file")
 	flag.Parse()
 	dotOut = *dot
 
-	if *demo {
-		runDemo()
-		return
+	modes := 0
+	for _, on := range []bool{*demo, *file != "", *traceFile != "", *ledgerFile != ""} {
+		if on {
+			modes++
+		}
 	}
-	in := io.Reader(os.Stdin)
-	if *file != "" {
-		f, err := os.Open(*file)
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "dangerous: -demo, -f, -trace and -ledger are mutually exclusive")
+		os.Exit(2)
+	}
+
+	switch {
+	case *demo:
+		runDemo()
+	case *traceFile != "":
+		report(fromTrace(*traceFile, *procID, *crashed))
+	case *ledgerFile != "":
+		report(fromLedger(*ledgerFile, *key))
+	default:
+		in := io.Reader(os.Stdin)
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		m, err := parse(in)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		in = f
+		report(m)
 	}
-	m, err := parse(in)
+}
+
+// fromTrace loads a recorded run trace and builds the executed-path machine
+// of one process.
+func fromTrace(path string, proc int, crashed bool) *statemachine.Machine {
+	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
 	}
-	report(m)
+	defer f.Close()
+	t, err := trace.Load(f)
+	if err != nil {
+		fail(err)
+	}
+	var evs []event.Event
+	for _, e := range t.Events {
+		if e.ID.P == proc {
+			evs = append(evs, e)
+		}
+	}
+	if len(evs) == 0 {
+		fail(fmt.Errorf("trace %s has no events for process %d (of %d procs)", path, proc, t.NumProcs))
+	}
+	fmt.Printf("trace %s: proc %d, %d events, crashed=%v\n", path, proc, len(evs), crashed)
+	return statemachine.FromExecution(evs, crashed)
+}
+
+// fromLedger mines machines from a campaign ledger and returns the keyed
+// (or first) one.
+func fromLedger(path, key string) *statemachine.Machine {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	recs, err := ledger.ReadAll(f)
+	if err != nil {
+		fail(err)
+	}
+	miner := ledger.NewMiner()
+	for i := range recs {
+		miner.Add(&recs[i])
+	}
+	keys := miner.Keys()
+	if len(keys) == 0 {
+		fail(fmt.Errorf("ledger %s: no machines mined from %d records", path, len(recs)))
+	}
+	if key == "" {
+		key = keys[0]
+	}
+	md := miner.Get(key)
+	if md == nil {
+		fail(fmt.Errorf("ledger %s: no machine %q (have %v)", path, key, keys))
+	}
+	fmt.Printf("ledger %s: machine %s mined from %d runs (of %v)\n", path, key, md.Runs, keys)
+	return md.Machine()
 }
 
 func parse(in io.Reader) (*statemachine.Machine, error) {

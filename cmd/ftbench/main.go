@@ -18,14 +18,21 @@
 // memoizes the clean session and every injection run forks it mid-stream
 // instead of re-executing the prefix — also byte-identical either way.
 //
+// With -ledger, every experiment run additionally appends one forensic
+// record to the named campaign-ledger file (see internal/obs/ledger); the
+// file's bytes are invariant across -parallel, -snapshots and -cow, and
+// cmd/ftreport turns it into the full campaign report.
+//
 // Usage:
 //
 //	ftbench -experiment all|fig8|table1|table2|space [-app nvi] [-scale 1] [-crashes 50]
 //	ftbench -bench [-json BENCH.json] [-scale 1]
-//	ftbench ... [-parallel N] [-json out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	ftbench ... [-parallel N] [-json out.json] [-ledger campaign.ftl]
+//	ftbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +43,7 @@ import (
 
 	"failtrans/internal/bench"
 	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
 )
 
 func main() {
@@ -48,9 +56,45 @@ func main() {
 	cow := flag.Bool("cow", true, "fork snapshot templates copy-on-write instead of deep-copying (results are identical either way)")
 	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this path")
+	ledgerPath := flag.String("ledger", "", "append one forensic record per run to this campaign-ledger file (for ftreport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	// Validate -ledger up front: it records experiment runs, so it has
+	// nothing to write under -bench, and a bad path should fail before an
+	// hours-long campaign rather than after.
+	if *ledgerPath != "" && *doBench {
+		fmt.Fprintln(os.Stderr, "ftbench: -ledger records experiment runs; it cannot be combined with -bench")
+		os.Exit(2)
+	}
+	var lw *ledger.Writer
+	var ledgerFlush func()
+	if *ledgerPath != "" {
+		f, err := os.Create(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: -ledger: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		lw = ledger.NewWriter(bw)
+		ledgerFlush = func() {
+			if err := lw.Err(); err == nil {
+				err = bw.Flush()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err == nil {
+					fmt.Printf("(wrote %s: %d records)\n", *ledgerPath, lw.Records())
+					return
+				}
+				fmt.Fprintf(os.Stderr, "ftbench: -ledger: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ftbench: -ledger: %v\n", lw.Err())
+			}
+			os.Exit(1)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -140,7 +184,7 @@ func main() {
 		for _, a := range apps {
 			a := a
 			run("fig8/"+a, func() error {
-				res, err := bench.Fig8(a, *scale, *parallel)
+				res, err := bench.Fig8(a, *scale, *parallel, lw)
 				if err != nil {
 					return err
 				}
@@ -153,7 +197,7 @@ func main() {
 	}
 	if want("table1") {
 		run("table1", func() error {
-			res, err := bench.Table1(*crashes, *parallel, *snapshots, *cow, campObs)
+			res, err := bench.Table1(*crashes, *parallel, *snapshots, *cow, campObs, lw)
 			if err != nil {
 				return err
 			}
@@ -164,7 +208,7 @@ func main() {
 	}
 	if want("table2") {
 		run("table2", func() error {
-			res, err := bench.Table2(*crashes, *parallel, *snapshots, *cow, campObs)
+			res, err := bench.Table2(*crashes, *parallel, *snapshots, *cow, campObs, lw)
 			if err != nil {
 				return err
 			}
@@ -182,6 +226,9 @@ func main() {
 
 	if campObs.Dispatched+campObs.SerialRuns > 0 {
 		campObs.WriteSummary(os.Stderr)
+	}
+	if ledgerFlush != nil {
+		ledgerFlush()
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

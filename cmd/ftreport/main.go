@@ -1,0 +1,137 @@
+// Command ftreport turns campaign ledgers (see internal/obs/ledger) into
+// forensic artifacts:
+//
+//   - a deterministic markdown report that reproduces the paper's Table 1
+//     and Table 2 conflict counts from the ledger alone, plus injection-point
+//     outcome heatmaps, conflict attribution by commit index, cross-run
+//     histograms, and the mined dangerous-path machines with their
+//     cross-check verdicts;
+//   - a Perfetto/Chrome-trace campaign overview (one span per run over
+//     deterministic virtual worker tracks, colored by outcome);
+//   - a Graphviz rendering of one mined machine's dangerous-path coloring.
+//
+// Every output is a pure function of the ledger bytes, which are themselves
+// invariant across worker counts and snapshot modes — so two campaigns that
+// ran differently but computed the same runs produce byte-identical
+// reports.
+//
+// Usage:
+//
+//	ftreport -ledger campaign.ftl [-ledger more.ftl ...]
+//	         [-md report.md] [-trace trace.json -workers 8]
+//	         [-dot machine.dot [-key table1/nvi/two-phase]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"failtrans/internal/obs/ledger"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var ledgers multiFlag
+	flag.Var(&ledgers, "ledger", "campaign ledger file (repeatable; concatenated in flag order)")
+	mdPath := flag.String("md", "", "write the markdown report to this file (default: stdout)")
+	tracePath := flag.String("trace", "", "write the Perfetto campaign trace JSON to this file")
+	workers := flag.Int("workers", 8, "virtual worker tracks for -trace")
+	dotPath := flag.String("dot", "", "write a mined machine's Graphviz coloring to this file")
+	key := flag.String("key", "", "mined machine to render with -dot (study/app/protocol; default: first mined)")
+	flag.Parse()
+
+	// Validate the flag set before reading anything: a misspelled flag
+	// combination should fail instantly, not after parsing gigabytes.
+	if len(ledgers) == 0 {
+		fmt.Fprintln(os.Stderr, "ftreport: at least one -ledger file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ftreport: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "ftreport: -workers must be >= 1")
+		os.Exit(2)
+	}
+	if *key != "" && *dotPath == "" {
+		fmt.Fprintln(os.Stderr, "ftreport: -key selects the -dot machine; it needs -dot")
+		os.Exit(2)
+	}
+
+	recs, err := ledger.ReadFiles(func(path string) (io.ReadCloser, error) {
+		return os.Open(path)
+	}, ledgers)
+	if err != nil {
+		fail(err)
+	}
+	rp := ledger.Analyze(recs)
+
+	out := io.Writer(os.Stdout)
+	var mdFile *os.File
+	if *mdPath != "" {
+		mdFile, err = os.Create(*mdPath)
+		if err != nil {
+			fail(err)
+		}
+		out = mdFile
+	}
+	if err := rp.WriteMarkdown(out); err != nil {
+		fail(err)
+	}
+	if mdFile != nil {
+		if err := mdFile.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *mdPath)
+	}
+
+	if *tracePath != "" {
+		writeTo(*tracePath, func(w io.Writer) error {
+			return rp.WriteCampaignTrace(w, *workers)
+		})
+	}
+	if *dotPath != "" {
+		k := *key
+		if k == "" {
+			keys := rp.Miner.Keys()
+			if len(keys) == 0 {
+				fail(fmt.Errorf("no machines mined from %d records; nothing for -dot", len(recs)))
+			}
+			k = keys[0]
+		}
+		writeTo(*dotPath, func(w io.Writer) error {
+			return rp.WriteMachineDot(w, k)
+		})
+	}
+}
+
+// writeTo writes one artifact file, failing the command on any error.
+func writeTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := write(f); err != nil {
+		f.Close() //failtrans:errok best-effort cleanup; the write error being reported is the primary failure
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ftreport:", err)
+	os.Exit(1)
+}

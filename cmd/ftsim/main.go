@@ -22,20 +22,27 @@
 // run: the run is forked at its halfway point and both the fork and the
 // original must finish byte-identically to an uninterrupted reference run.
 // Apps whose programs do not implement sim.Forker fail with a clear error.
+//
+// -ledger appends one forensic record per run (study "ftsim") to the named
+// campaign-ledger file — single runs and -seeds campaigns alike — for
+// cmd/ftreport and dangerous -ledger.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"failtrans/internal/bench"
 	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/event"
 	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
@@ -94,6 +101,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "run a campaign over this many consecutive seeds instead of one run")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count for -seeds (1 = serial; output is identical either way)")
 	snapCheck := flag.Bool("snapshots", false, "fork self-check: fork the run mid-stream and verify the fork finishes byte-identically")
+	ledgerPath := flag.String("ledger", "", "append one forensic record per run to this campaign-ledger file (for ftreport)")
 	var stops stopList
 	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
 	flag.Parse()
@@ -103,8 +111,8 @@ func main() {
 	}
 
 	if *snapCheck {
-		if *seeds > 1 || *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 {
-			fail(fmt.Errorf("-snapshots supports none of -seeds, -tracefile, -dump, -metrics, -debug, -stop"))
+		if *seeds > 1 || *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 || *ledgerPath != "" {
+			fail(fmt.Errorf("-snapshots supports none of -seeds, -tracefile, -dump, -metrics, -debug, -stop, -ledger"))
 		}
 		if err := runSnapshotCheck(*app, *polName, *mediumName, *scale, *seed); err != nil {
 			fail(err)
@@ -112,12 +120,42 @@ func main() {
 		return
 	}
 
+	// The ledger file is created before any simulation so a bad path fails
+	// fast; it is written from the single run or the campaign's ordered
+	// accept callback, so its bytes are invariant across -parallel.
+	var lw *ledger.Writer
+	var ledgerClose func()
+	if *ledgerPath != "" {
+		f, err := os.Create(*ledgerPath)
+		if err != nil {
+			fail(err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		lw = ledger.NewWriter(bw)
+		ledgerClose = func() {
+			err := lw.Err()
+			if err == nil {
+				err = bw.Flush()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fail(fmt.Errorf("-ledger: %w", err))
+			}
+			fmt.Printf("ledger:         %s (%d records)\n", *ledgerPath, lw.Records())
+		}
+	}
+
 	if *seeds > 1 {
 		if *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 {
 			fail(fmt.Errorf("-seeds campaigns support none of -tracefile, -dump, -metrics, -debug, -stop (run a single seed for those)"))
 		}
-		if err := runCampaign(*app, *polName, *mediumName, *scale, *seed, *seeds, *parallel); err != nil {
+		if err := runCampaign(*app, *polName, *mediumName, *scale, *seed, *seeds, *parallel, lw); err != nil {
 			fail(err)
+		}
+		if ledgerClose != nil {
+			ledgerClose()
 		}
 		return
 	}
@@ -201,7 +239,8 @@ func main() {
 		mix.OtherND = 0
 	}
 	fmt.Printf("recommended:    %s\n", protocol.RecommendString(mix))
-	if vs := recovery.CheckSaveWork(w.Trace); len(vs) == 0 {
+	vs := recovery.CheckSaveWork(w.Trace)
+	if len(vs) == 0 {
 		fmt.Println("save-work:      upheld over the recorded trace")
 	} else {
 		fmt.Printf("save-work:      violated on the raw trace (rollback-discarded events are counted) (%d), first: %v\n", len(vs), vs[0])
@@ -243,54 +282,102 @@ func main() {
 		fmt.Println("--- metrics ---")
 		w.Metrics.WriteSnapshot(os.Stdout)
 	}
+	if lw != nil {
+		kind := "none"
+		if len(stops) > 0 {
+			kind = "stop"
+		}
+		rec := ledger.Get()
+		ftsimRecord(rec, *app, *polName, medium.Name, *seed, w, d, kind, len(vs) > 0)
+		lw.Append(rec)
+		ledger.Put(rec)
+		ledgerClose()
+	}
+}
+
+// ftsimRecord renders one finished ftsim run into a forensic record.
+func ftsimRecord(rec *ledger.Record, app, polName, mediumName string, seed int64,
+	w *sim.World, d *dc.DC, kind string, saveWorkViolated bool) {
+	rec.Study = "ftsim"
+	rec.App = app
+	rec.Protocol = polName
+	rec.Medium = mediumName
+	rec.Kind = kind
+	rec.Seed = seed
+	rec.Outcome = ledger.Completed
+	if !w.AllDone() {
+		rec.Outcome = ledger.Crashed
+	}
+	rec.SaveWork = saveWorkViolated
+	if d != nil {
+		rec.CommitN = d.Stats.TotalCheckpoints()
+	}
+	rec.Steps = w.Procs[0].Steps
+	rec.WorldSteps = w.StepCount()
+	rec.VClockUS = int64(w.Clock / time.Microsecond)
 }
 
 // runCampaign executes the configured workload at n consecutive seeds,
 // fanned out over workers, printing one line per seed. Lines are emitted
 // from the campaign's ordered accept callback, so the output is identical
 // for any worker count.
-func runCampaign(app, polName, mediumName string, scale int, baseSeed int64, n, workers int) error {
+func runCampaign(app, polName, mediumName string, scale int, baseSeed int64, n, workers int, lw *ledger.Writer) error {
 	medium := stablestore.Rio
 	if mediumName == "disk" {
 		medium = stablestore.Disk
 	}
 	campObs := obs.NewCampaignMetrics(workers)
+	type seedRun struct {
+		line string
+		rec  *ledger.Record
+	}
 	err := campaign.Run(campaign.Config{Workers: workers, Phase: "ftsim/" + app, Metrics: campObs}, n,
-		func(i int) (string, error) {
+		func(i int) (seedRun, error) {
 			seed := baseSeed + int64(i)
 			w, err := bench.BuildWorld(app, scale, seed)
 			if err != nil {
-				return "", err
+				return seedRun{}, err
 			}
 			w.RecordTrace = true
 			var d *dc.DC
 			if polName != "NONE" {
 				pol, err := protocol.ByName(polName)
 				if err != nil {
-					return "", err
+					return seedRun{}, err
 				}
 				d = dc.New(w, pol, medium)
 				if err := d.Attach(); err != nil {
-					return "", err
+					return seedRun{}, err
 				}
 			}
 			if err := w.Run(); err != nil {
-				return "", err
+				return seedRun{}, err
 			}
 			ckpts, recoveries := 0, 0
 			if d != nil {
 				ckpts = d.Stats.TotalCheckpoints()
 				recoveries = d.Stats.Recoveries
 			}
+			violated := len(recovery.CheckSaveWork(w.Trace)) > 0
 			saveWork := "upheld"
-			if len(recovery.CheckSaveWork(w.Trace)) > 0 {
+			if violated {
 				saveWork = "violated"
 			}
-			return fmt.Sprintf("seed=%-6d vtime=%-14v events=%-8d ckpts=%-6d recoveries=%-3d save-work=%s",
-				seed, w.Clock, w.EventCount, ckpts, recoveries, saveWork), nil
+			r := seedRun{line: fmt.Sprintf("seed=%-6d vtime=%-14v events=%-8d ckpts=%-6d recoveries=%-3d save-work=%s",
+				seed, w.Clock, w.EventCount, ckpts, recoveries, saveWork)}
+			if lw != nil {
+				r.rec = ledger.Get()
+				ftsimRecord(r.rec, app, polName, medium.Name, seed, w, d, "none", violated)
+			}
+			return r, nil
 		},
-		func(i int, line string) bool {
-			fmt.Println(line)
+		func(i int, r seedRun) bool {
+			fmt.Println(r.line)
+			if r.rec != nil {
+				r.rec.Run = i
+				lw.Append(r.rec)
+				ledger.Put(r.rec)
+			}
 			return true
 		})
 	if err != nil {

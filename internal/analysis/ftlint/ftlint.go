@@ -30,6 +30,7 @@ var DeterministicCore = []string{
 	"failtrans/internal/recovery",
 	"failtrans/internal/campaign",
 	"failtrans/internal/obs",
+	"failtrans/internal/obs/ledger",
 	"failtrans/internal/stablestore",
 	"failtrans/internal/faults",
 }

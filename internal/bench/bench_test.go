@@ -24,7 +24,7 @@ func TestMagicSessionTerminates(t *testing.T) {
 }
 
 func TestFig8Nvi(t *testing.T) {
-	res, err := Fig8("nvi", 1, 4)
+	res, err := Fig8("nvi", 1, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFig8Nvi(t *testing.T) {
 }
 
 func TestFig8Magic(t *testing.T) {
-	res, err := Fig8("magic", 1, 4)
+	res, err := Fig8("magic", 1, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFig8Magic(t *testing.T) {
 }
 
 func TestFig8Xpilot(t *testing.T) {
-	res, err := Fig8("xpilot", 1, 4)
+	res, err := Fig8("xpilot", 1, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestFig8Xpilot(t *testing.T) {
 }
 
 func TestFig8TreadMarks(t *testing.T) {
-	res, err := Fig8("treadmarks", 1, 4)
+	res, err := Fig8("treadmarks", 1, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,13 +145,13 @@ func TestFig8TreadMarks(t *testing.T) {
 }
 
 func TestFig8UnknownApp(t *testing.T) {
-	if _, err := Fig8("word", 1, 4); err == nil {
+	if _, err := Fig8("word", 1, 4, nil); err == nil {
 		t.Error("unknown app must error")
 	}
 }
 
 func TestTable1Small(t *testing.T) {
-	res, err := Table1(3, 4, true, true, nil)
+	res, err := Table1(3, 4, true, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestTable1Small(t *testing.T) {
 }
 
 func TestTable2Small(t *testing.T) {
-	res, err := Table2(2, 4, true, true, nil)
+	res, err := Table2(2, 4, true, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +192,11 @@ func TestPrintSpace(t *testing.T) {
 // TestFig8ParallelMatchesSerial pins the parallel sweep to the serial one:
 // same cells, same numbers, regardless of worker count.
 func TestFig8ParallelMatchesSerial(t *testing.T) {
-	serial, err := Fig8("nvi", 1, 1)
+	serial, err := Fig8("nvi", 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Fig8("nvi", 1, 6)
+	parallel, err := Fig8("nvi", 1, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

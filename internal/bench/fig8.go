@@ -19,6 +19,7 @@ import (
 	"failtrans/internal/faults"
 	"failtrans/internal/kernel"
 	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/protocol"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
@@ -141,11 +142,13 @@ func MagicSession(seed int64, n int) []string {
 
 // onceResult is one (app, protocol, medium) cell's measurements.
 type onceResult struct {
-	clock   time.Duration
-	ckpts   int
-	logs    int64
-	frames  int
-	metrics obs.RunSummary
+	clock     time.Duration
+	ckpts     int
+	logs      int64
+	frames    int
+	steps     int // world step count (deterministic, fork-invariant)
+	procSteps int // proc 0's step count
+	metrics   obs.RunSummary
 }
 
 // runOnce executes one (app, protocol, medium) cell with the metrics
@@ -168,7 +171,7 @@ func runOnce(app string, scale int, pol *protocol.Policy, medium stablestore.Med
 	if err := w.Run(); err != nil {
 		return onceResult{}, err
 	}
-	res := onceResult{clock: w.Clock, metrics: m.Summarize()}
+	res := onceResult{clock: w.Clock, steps: w.StepCount(), procSteps: w.Procs[0].Steps, metrics: m.Summarize()}
 	if d != nil {
 		res.ckpts = d.Stats.TotalCheckpoints()
 		res.logs = d.Stats.LogRecords
@@ -182,8 +185,10 @@ func runOnce(app string, scale int, pol *protocol.Policy, medium stablestore.Med
 // Fig8 runs the full protocol sweep for one application. The baseline and
 // the (protocol, medium) cells are independent simulations, so they fan
 // out over workers (0 or 1 = serial); every cell lands at a fixed slice
-// index, making the result identical to the serial sweep's.
-func Fig8(app string, scale, workers int) (*Fig8Result, error) {
+// index, making the result identical to the serial sweep's. lw, if
+// non-nil, receives one fault-free ledger record per cell, emitted from the
+// ordered acceptor (so the ledger bytes are worker-count-invariant too).
+func Fig8(app string, scale, workers int, lw *ledger.Writer) (*Fig8Result, error) {
 	measured := protocol.Measured()
 	cells := make([]onceResult, 1+2*len(measured))
 	err := campaign.Run(campaign.Config{Workers: workers, Phase: "fig8/" + app}, len(cells),
@@ -200,6 +205,29 @@ func Fig8(app string, scale, workers int) (*Fig8Result, error) {
 		},
 		func(i int, r onceResult) bool {
 			cells[i] = r
+			if lw != nil {
+				rec := ledger.Get()
+				rec.Run = i
+				rec.Study = "fig8"
+				rec.App = app
+				rec.Protocol = "baseline"
+				rec.Medium = stablestore.Rio.Name
+				if i > 0 {
+					rec.Protocol = measured[(i-1)/2].Name
+					if (i-1)%2 == 1 {
+						rec.Medium = stablestore.Disk.Name
+					}
+				}
+				rec.Kind = "none"
+				rec.Seed = 11
+				rec.Outcome = ledger.Completed
+				rec.CommitN = r.ckpts
+				rec.Steps = r.procSteps
+				rec.WorldSteps = r.steps
+				rec.VClockUS = int64(r.clock / time.Microsecond)
+				lw.Append(rec)
+				ledger.Put(rec)
+			}
 			return true
 		})
 	if err != nil {

@@ -196,7 +196,7 @@ func RunBench(scale, workers int) (*BenchReport, error) {
 	}
 	rep.CampaignCOW = cc
 	for _, app := range Fig8Apps {
-		res, err := Fig8(app, scale, workers)
+		res, err := Fig8(app, scale, workers, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"failtrans/internal/faults"
 	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/protocol"
 )
 
@@ -28,8 +29,10 @@ type Table1Result struct {
 // prefix-snapshot cache (also byte-identical, much faster); cow freezes the
 // cached templates and forks them copy-on-write (byte-identical again — the
 // CI study diffs cow on/off); campObs, if non-nil, collects per-worker
-// campaign counters.
-func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics) (*Table1Result, error) {
+// campaign counters; lw, if non-nil, receives one forensic ledger record per
+// run (byte-identical across workers, snapshots and cow — the record holds
+// only logical coordinates).
+func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewAppStudy(app)
@@ -40,6 +43,7 @@ func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.Campaign
 		s.COW = cow
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
+		s.Ledger = lw
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err
@@ -95,9 +99,9 @@ type Table2Result struct {
 	Postgres []faults.OSTypeResult
 }
 
-// Table2 runs the OS fault-injection study; workers, snapshots, cow and
-// campObs behave as in Table1.
-func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics) (*Table2Result, error) {
+// Table2 runs the OS fault-injection study; workers, snapshots, cow,
+// campObs and lw behave as in Table1.
+func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewOSStudy(app)
@@ -108,6 +112,7 @@ func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.Campaign
 		s.COW = cow
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
+		s.Ledger = lw
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"failtrans/internal/dc"
 	"failtrans/internal/kernel"
 	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/protocol"
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
@@ -72,6 +73,11 @@ type RunResult struct {
 	// on re-execution, did recovery complete the run?
 	Recovered bool
 	Timeline  recovery.FaultTimeline
+	// Rec is the run's forensic ledger record, filled by the worker only
+	// when the study carries a Ledger; the campaign acceptor appends it in
+	// run order and returns it to the pool. Excluded from JSON so studies
+	// with and without a ledger attached stay byte-comparable.
+	Rec *ledger.Record `json:"-"`
 }
 
 // TypeResult aggregates one fault type's runs.
@@ -144,6 +150,13 @@ type AppStudy struct {
 	// type on track CampaignTrack.
 	CampaignTracer *obs.Tracer
 	CampaignTrack  int
+	// Ledger, if non-nil, receives one forensic record per injection run,
+	// appended from the campaign's ordered accept callback — strictly in
+	// serial run order, on the calling goroutine — so the ledger bytes are
+	// identical for any worker count. Records carry only logical run
+	// coordinates (step positions, virtual time), which forking preserves,
+	// so they are also identical with Snapshots/COW on or off.
+	Ledger *ledger.Writer
 }
 
 // NewAppStudy returns the paper's configuration for the given app.
@@ -258,6 +271,75 @@ func (s *AppStudy) finishRun(w *sim.World, inj *oneShot, commits []int, clean []
 	return res
 }
 
+// ledgerRecord renders one finished injection run as a forensic record.
+// Every field is a logical coordinate of the simulated run — process step
+// positions, world step counts, virtual time — all of which World.Fork
+// preserves, so a record is identical whether the run executed from
+// scratch, from a deep-copied snapshot, or from a COW overlay. The
+// physical counts that DO differ by mode (steps actually re-executed,
+// fork latencies) stay in obs.SnapshotMetrics.
+func (s *AppStudy) ledgerRecord(kind sim.FaultKind, w *sim.World, inj *oneShot, commits []int, res RunResult) *ledger.Record {
+	r := ledger.Get()
+	r.Study = "table1"
+	r.App = s.App
+	r.Protocol = s.Policy.Name
+	r.Medium = stablestore.Rio.Name
+	r.Kind = kind.String()
+	r.Seed = s.Seed
+	r.FireAt = int64(inj.fireAt)
+	p := w.Procs[0]
+	r.Steps = p.Steps
+	r.WorldSteps = w.StepCount()
+	r.VClockUS = int64(w.Clock / time.Microsecond)
+	if inj.fired {
+		r.Activation = inj.firedAt
+		r.PrefixSteps = inj.firedStep
+	}
+	r.CommitN = len(commits)
+	r.Commits = append(r.Commits[:0], commits...)
+	switch {
+	case !inj.fired:
+		r.Outcome = ledger.Inert
+	case res.Crashed:
+		r.Outcome = ledger.Crashed
+		r.Crash = p.Steps
+		r.LoseWork = res.Violation
+		r.Recovered = res.Recovered
+		last := 0
+		for _, c := range commits {
+			if c <= p.Steps {
+				last = c
+			}
+		}
+		r.RollbackDepth = p.Steps - last
+		for i, c := range commits {
+			if c >= inj.firedAt && c <= p.Steps {
+				if r.ViolFirst < 0 {
+					r.ViolFirst = i
+				}
+				r.ViolN++
+			}
+		}
+	case res.WrongOutput:
+		r.Outcome = ledger.WrongOutput
+		r.SaveWork = true
+	default:
+		r.Outcome = ledger.Completed
+	}
+	return r
+}
+
+// acceptLedger appends a run's record (if the worker filled one) from the
+// campaign acceptor and recycles it.
+func (s *AppStudy) acceptLedger(run int, rec *ledger.Record) {
+	if rec == nil {
+		return
+	}
+	rec.Run = run
+	s.Ledger.Append(rec)
+	ledger.Put(rec)
+}
+
 // RunOne executes a single injection run from scratch: arm the fault at a
 // point derived from injSeed (the workload session itself is fixed by the
 // study seed), run under the study protocol, record the timeline, then
@@ -289,6 +371,9 @@ func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (Ru
 	res = s.finishRun(w, inj, commits, clean)
 	if res.Crashed {
 		res.Recovered = s.endToEnd(kind, inj.fireAt)
+	}
+	if s.Ledger != nil {
+		res.Rec = s.ledgerRecord(kind, w, inj, commits, res)
 	}
 	return res, nil
 }
@@ -384,6 +469,9 @@ func (s *AppStudy) Run() ([]TypeResult, error) {
 				return s.RunOne(kind, injSeed, clean)
 			},
 			func(run int, res RunResult) bool {
+				if s.Ledger != nil {
+					s.acceptLedger(run, res.Rec)
+				}
 				tr.Runs++
 				if res.WrongOutput {
 					tr.WrongOutput++

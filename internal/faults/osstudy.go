@@ -8,6 +8,7 @@ import (
 	"failtrans/internal/campaign"
 	"failtrans/internal/dc"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
 )
@@ -88,9 +89,52 @@ func (m *memoryScribble) At(p *sim.Proc, site string) sim.FaultKind {
 	return sim.HeapBitFlip
 }
 
+// fillOSRecord renders one finished OS-study run into its forensic record.
+// The kernel study measures recovery outcomes, not event positions, so the
+// record carries the commit count (forked DC stats include the template's
+// prefix, keeping it mode-invariant) but no commit positions, and no
+// activation/crash step marks.
+func (o *OSStudy) fillOSRecord(rec *ledger.Record, kind sim.FaultKind, w *sim.World, d *dc.DC,
+	injectAt time.Duration, injSteps int, injected, crashed, recovered, propagated bool) {
+	if rec == nil {
+		return
+	}
+	rec.Study = "table2"
+	rec.App = o.App
+	rec.Protocol = o.Policy.Name
+	rec.Medium = stablestore.Rio.Name
+	rec.Kind = kind.String()
+	rec.Seed = o.Seed
+	rec.FireAt = int64(injectAt / time.Microsecond)
+	p := w.Procs[0]
+	rec.Steps = p.Steps
+	rec.WorldSteps = w.StepCount()
+	rec.VClockUS = int64(w.Clock / time.Microsecond)
+	rec.CommitN = d.Stats.TotalCheckpoints()
+	rec.SaveWork = propagated
+	switch {
+	case !injected:
+		rec.Outcome = ledger.Inert
+	case !crashed:
+		rec.Outcome = ledger.Completed
+	default:
+		rec.Outcome = ledger.Crashed
+		rec.LoseWork = !recovered
+		rec.Recovered = recovered
+	}
+	if injected {
+		rec.PrefixSteps = injSteps
+	}
+}
+
 // RunOne injects one kernel fault at a time drawn from injSeed and reports
 // whether the application crashed and whether it recovered end-to-end.
 func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered, propagated bool, err error) {
+	return o.runOne(kind, injSeed, nil)
+}
+
+// runOne is RunOne with an optional forensic record to fill.
+func (o *OSStudy) runOne(kind sim.FaultKind, injSeed int64, rec *ledger.Record) (crashed, recovered, propagated bool, err error) {
 	w, err := o.buildWorld(o.Seed)
 	if err != nil {
 		return false, false, false, err
@@ -132,6 +176,7 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 	injectAt := time.Duration(float64(cleanDur) * (0.05 + 0.9*r.Float64()))
 	window := osFaultWindow[kind]
 	injected := false
+	injSteps := -1
 	for {
 		more, err := w.Step()
 		if err != nil {
@@ -142,14 +187,19 @@ func (o *OSStudy) RunOne(kind sim.FaultKind, injSeed int64) (crashed, recovered,
 		}
 		if !injected && w.Clock >= injectAt {
 			injected = true
+			injSteps = w.StepCount()
 			k.InjectFault(0, window)
 			o.noteOSReplay(w.StepCount())
 		}
 	}
-	if !injected || crashes == 0 {
-		return false, false, k.FaultCorrupted(0), nil
+	propagated = k.FaultCorrupted(0)
+	if injected && crashes > 0 {
+		crashed = true
+		recovered = w.AllDone()
+		propagated = propagated || scribble.fired
 	}
-	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.fired, nil
+	o.fillOSRecord(rec, kind, w, d, injectAt, injSteps, injected, crashed, recovered, propagated)
+	return crashed, recovered, propagated, nil
 }
 
 // cleanDuration measures the fault-free run's virtual duration, once. A
@@ -197,18 +247,26 @@ func (o *OSStudy) Run() ([]OSTypeResult, error) {
 		tr := OSTypeResult{Kind: kind}
 		type osRun struct {
 			crashed, recovered, propagated bool
+			rec                            *ledger.Record
 		}
 		err := campaign.Run(o.campaignConfig("table2/"+o.App+"/"+kind.String()), o.MaxRunsPerType,
 			func(run int) (osRun, error) {
 				injSeed := o.Seed*77777 + int64(run)
-				if cache != nil {
-					crashed, recovered, propagated, err := o.runOneSnap(kind, injSeed, cache)
-					return osRun{crashed, recovered, propagated}, err
+				var rec *ledger.Record
+				if o.Ledger != nil {
+					rec = ledger.Get()
 				}
-				crashed, recovered, propagated, err := o.RunOne(kind, injSeed)
-				return osRun{crashed, recovered, propagated}, err
+				if cache != nil {
+					crashed, recovered, propagated, err := o.runOneSnap(kind, injSeed, cache, rec)
+					return osRun{crashed, recovered, propagated, rec}, err
+				}
+				crashed, recovered, propagated, err := o.runOne(kind, injSeed, rec)
+				return osRun{crashed, recovered, propagated, rec}, err
 			},
 			func(run int, r osRun) bool {
+				if o.Ledger != nil {
+					o.acceptLedger(run, r.rec)
+				}
 				tr.Runs++
 				if r.propagated {
 					tr.Propagations++

@@ -6,6 +6,7 @@ import (
 
 	"failtrans/internal/dc"
 	"failtrans/internal/kernel"
+	"failtrans/internal/obs/ledger"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
 )
@@ -232,6 +233,12 @@ func (s *AppStudy) runOneSnap(kind sim.FaultKind, injSeed int64, clean []string,
 	if res.Crashed {
 		res.Recovered = s.endToEndSnap(kind, inj.fireAt, cache)
 	}
+	if s.Ledger != nil {
+		// Every record field is fork-invariant (the fork resumed at the
+		// template's step count and clock), so this record is
+		// byte-identical to the one RunOne would have produced.
+		res.Rec = s.ledgerRecord(kind, w, inj, commits, res)
+	}
 	return res, nil
 }
 
@@ -316,7 +323,7 @@ func (o *OSStudy) buildOSPrefixCache() (*prefixCache, error) {
 // runOneSnap is OSStudy.RunOne served from the prefix cache: fork the
 // deepest snapshot before the injection time and resume the injection
 // loop. Byte-identical to RunOne for the same (kind, injSeed).
-func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCache) (crashed, recovered, propagated bool, err error) {
+func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCache, rec *ledger.Record) (crashed, recovered, propagated bool, err error) {
 	cleanDur, err := o.cleanDuration()
 	if err != nil {
 		return false, false, false, err
@@ -346,6 +353,7 @@ func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCac
 	}
 	window := osFaultWindow[kind]
 	injected := false
+	injSteps := -1
 	for {
 		more, err := w.Step()
 		if err != nil {
@@ -356,15 +364,23 @@ func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCac
 		}
 		if !injected && w.Clock >= injectAt {
 			injected = true
+			injSteps = w.StepCount()
 			k.InjectFault(0, window)
 			o.noteOSReplay(w.StepCount() - snap.steps)
 		}
 	}
 	o.noteCOW(w, d)
-	if !injected || crashes == 0 {
-		return false, false, k.FaultCorrupted(0), nil
+	propagated = k.FaultCorrupted(0)
+	if injected && crashes > 0 {
+		crashed = true
+		recovered = w.AllDone()
+		propagated = propagated || scribble.fired
 	}
-	return true, w.AllDone(), k.FaultCorrupted(0) || scribble.fired, nil
+	// Every record field is fork-invariant: the fork resumes at the
+	// template's absolute step count and clock, and the forked DC's stats
+	// carry the template's checkpoint count forward.
+	o.fillOSRecord(rec, kind, w, d, injectAt, injSteps, injected, crashed, recovered, propagated)
+	return crashed, recovered, propagated, nil
 }
 
 // noteOSReplay accounts one injection run's re-executed clean prefix (in

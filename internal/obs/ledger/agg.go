@@ -1,0 +1,136 @@
+package ledger
+
+import (
+	"math/bits"
+
+	"failtrans/internal/obs"
+)
+
+// GroupKey identifies one aggregation cell: a study's (app, protocol,
+// medium, fault-kind) combination.
+type GroupKey struct {
+	Study    string
+	App      string
+	Protocol string
+	Medium   string
+	Kind     string
+}
+
+// Group accumulates one cell's cross-run aggregates. Every field is
+// order-independent (sums, mergeable obs.Histograms, count matrices), so a
+// group built incrementally record-by-record equals one built from any
+// permutation or partition of the same records — the property that lets
+// sharded campaigns aggregate by merging.
+type Group struct {
+	Key GroupKey
+
+	Runs        int64
+	Inert       int64
+	Completed   int64
+	WrongOutput int64
+	Crashes     int64
+	// LoseWork counts crashes with a commit inside the violation window
+	// (table1's Violations, table2's FailedRecoveries); SaveWork counts
+	// silent-corruption/propagation flags; Recovered counts successful
+	// end-to-end recoveries.
+	LoseWork  int64
+	SaveWork  int64
+	Recovered int64
+
+	// RollbackDepth distributes the process steps each crash discarded;
+	// CommitsPerRun the commit count per run; PrefixSteps the world-step
+	// position of fault activation.
+	RollbackDepth obs.Histogram
+	CommitsPerRun obs.Histogram
+	PrefixSteps   obs.Histogram
+
+	// Heat is the injection-point outcome heatmap: Heat[b][o] counts runs
+	// whose armed fire point falls in log2 bucket b (the obs.Histogram
+	// bucket convention) and ended with outcome o.
+	Heat [obs.HistBuckets][int(outcomeCount)]int64
+
+	// DoomIndex[i] counts crashed runs whose first violating commit was
+	// commit index i — "which commit index dooms recovery, how often".
+	DoomIndex map[int]int64
+
+	// VClockSum sums run virtual time (µs) for mean-duration reporting.
+	VClockSum int64
+}
+
+// ViolationPct is the Table 1 / Table 2 cell: percent of crashes whose
+// recovery was doomed by a committed dependence.
+func (g *Group) ViolationPct() float64 {
+	if g.Crashes == 0 {
+		return 0
+	}
+	return 100 * float64(g.LoseWork) / float64(g.Crashes)
+}
+
+// Aggregator folds ledger records into groups, preserving first-appearance
+// order (which, for a deterministic ledger, is itself deterministic).
+type Aggregator struct {
+	byKey map[GroupKey]*Group
+	order []*Group
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{byKey: make(map[GroupKey]*Group)}
+}
+
+// heatBucket maps a fire point to its log2 bucket.
+func heatBucket(fire int64) int {
+	b := bits.Len64(uint64(fire))
+	if b >= obs.HistBuckets {
+		b = obs.HistBuckets - 1
+	}
+	return b
+}
+
+// Add folds one record in.
+func (a *Aggregator) Add(r *Record) {
+	key := GroupKey{Study: r.Study, App: r.App, Protocol: r.Protocol, Medium: r.Medium, Kind: r.Kind}
+	g, ok := a.byKey[key]
+	if !ok {
+		g = &Group{Key: key, DoomIndex: make(map[int]int64)}
+		a.byKey[key] = g
+		a.order = append(a.order, g)
+	}
+	g.Runs++
+	switch r.Outcome {
+	case Inert:
+		g.Inert++
+	case Completed:
+		g.Completed++
+	case WrongOutput:
+		g.WrongOutput++
+	case Crashed:
+		g.Crashes++
+	}
+	if r.LoseWork {
+		g.LoseWork++
+	}
+	if r.SaveWork {
+		g.SaveWork++
+	}
+	if r.Recovered {
+		g.Recovered++
+	}
+	if r.RollbackDepth >= 0 {
+		g.RollbackDepth.Observe(int64(r.RollbackDepth))
+	}
+	g.CommitsPerRun.Observe(int64(r.CommitN))
+	if r.PrefixSteps >= 0 {
+		g.PrefixSteps.Observe(int64(r.PrefixSteps))
+	}
+	if r.FireAt >= 0 {
+		g.Heat[heatBucket(r.FireAt)][r.Outcome]++
+	}
+	if r.ViolFirst >= 0 {
+		g.DoomIndex[r.ViolFirst]++
+	}
+	g.VClockSum += r.VClockUS
+}
+
+// Groups lists cells in first-appearance order.
+func (a *Aggregator) Groups() []*Group { return a.order }

@@ -1,0 +1,145 @@
+// Package ledger is the campaign forensics layer: an append-only,
+// deterministic per-run record stream written while a fault-injection
+// campaign executes, plus the machinery that turns a recorded stream back
+// into the paper's analyses — incremental dangerous-path mining through
+// statemachine.FromExecution, mergeable cross-run aggregates, and the
+// deterministic reports behind cmd/ftreport.
+//
+// Determinism contract. A ledger is byte-identical across worker counts
+// and across snapshots/COW on/off, for the same study configuration. Two
+// disciplines deliver that:
+//
+//   - Records are appended from the campaign executor's accept callback,
+//     which runs on the calling goroutine strictly in serial run order
+//     (see internal/campaign) — so worker count cannot reorder records.
+//   - Every field is a *logical* quantity of the simulated run: process
+//     step positions, world step counts, virtual time. World.Fork
+//     preserves step counts and the virtual clock, so a run served from a
+//     prefix snapshot reports the same values as a from-scratch run.
+//     Physical execution costs that DO differ by mode (steps actually
+//     replayed vs skipped by forking, fork latencies) are deliberately
+//     kept out of the ledger, in obs.SnapshotMetrics, which is reported to
+//     stderr — the same split the study JSON uses.
+//
+// The emit path is allocation-free: records come from a pool, and
+// Writer.Append renders into a reused buffer with strconv append calls
+// (enforced by ftlint's hotpathcheck and an AllocsPerRun test).
+package ledger
+
+import "sync"
+
+// Outcome classifies how one injection run ended.
+type Outcome uint8
+
+const (
+	// Inert: the fault never activated (no fault-site visit reached the
+	// fire point, or the kernel fault window opened after the run ended).
+	Inert Outcome = iota
+	// Completed: the fault activated but the run finished with correct
+	// visible output.
+	Completed
+	// WrongOutput: the run finished but its visible output diverged from
+	// the fault-free run — silent corruption, the Save-work conflict
+	// Table 1 counts separately from crashes.
+	WrongOutput
+	// Crashed: the run crashed (or, in the OS study, the kernel fault
+	// forced at least one recovery).
+	Crashed
+
+	outcomeCount
+)
+
+// outcomeNames are the on-disk names, indexed by Outcome.
+var outcomeNames = [outcomeCount]string{"inert", "ok", "wrongout", "crash"}
+
+// String returns the on-disk name of the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "unknown"
+}
+
+// Record is one injection run's forensic record. All positions are logical
+// simulation coordinates (process steps, world steps, virtual time), never
+// physical execution counts — see the package comment's determinism
+// contract. Fields that do not apply to a run hold -1 (positions) or zero
+// (counts).
+type Record struct {
+	// Run is the serial run index within its campaign phase.
+	Run int
+	// Study names the campaign phase: "table1", "table2", "fig8", "ftsim".
+	Study string
+	// App is the workload ("nvi", "postgres", ...); Protocol the Save-work
+	// protocol name (or "baseline"); Medium the commit medium ("rio",
+	// "disk"); Kind the injected fault type ("" when none applies).
+	App      string
+	Protocol string
+	Medium   string
+	Kind     string
+	// Seed is the study seed (the workload session; injection points are
+	// derived per Run).
+	Seed int64
+	// FireAt is the armed injection point in the study's own unit:
+	// fault-site visits for table1, virtual microseconds for table2, -1
+	// when no injection was armed.
+	FireAt int64
+	// Outcome classifies the run; LoseWork marks a commit inside
+	// (activation, crash] — the Lose-work violation; SaveWork marks silent
+	// output corruption (table1) or fault propagation into application
+	// state (table2); Recovered reports the end-to-end recovery check.
+	Outcome   Outcome
+	LoseWork  bool
+	SaveWork  bool
+	Recovered bool
+	// Activation and Crash are process-step positions of fault activation
+	// and the crash (-1 when absent). Steps is the process's final step
+	// count; WorldSteps the world's; PrefixSteps the world step count at
+	// activation (the clean prefix every run re-executes or forks past).
+	Activation  int
+	Crash       int
+	Steps       int
+	WorldSteps  int
+	PrefixSteps int
+	// VClockUS is the run's final virtual clock in microseconds.
+	VClockUS int64
+	// RollbackDepth is the process steps a crash discards (crash minus the
+	// last commit at or before it; -1 for non-crashed runs).
+	RollbackDepth int
+	// CommitN counts commits; Commits holds their process-step positions
+	// when the study records them (table1), nil when it records only the
+	// count (table2, fig8).
+	CommitN int
+	Commits []int
+	// ViolFirst is the index (into Commits) of the first violating commit
+	// and ViolN the number of violating commits — the commits in
+	// [Activation, Crash] that doom recovery. ViolFirst is -1 when none.
+	ViolFirst int
+	ViolN     int
+}
+
+// Reset clears the record for reuse, keeping the Commits capacity.
+func (r *Record) Reset() {
+	c := r.Commits[:0]
+	*r = Record{}
+	r.Commits = c
+	r.FireAt = -1
+	r.Activation = -1
+	r.Crash = -1
+	r.PrefixSteps = -1
+	r.RollbackDepth = -1
+	r.ViolFirst = -1
+}
+
+var recordPool = sync.Pool{New: func() any { return new(Record) }}
+
+// Get returns a reset Record from the pool. Workers fill records off the
+// campaign's hot path; the acceptor appends and Puts them back.
+func Get() *Record {
+	r := recordPool.Get().(*Record)
+	r.Reset()
+	return r
+}
+
+// Put returns a record to the pool.
+func Put(r *Record) { recordPool.Put(r) }

@@ -1,0 +1,274 @@
+package ledger
+
+import (
+	"fmt"
+	"strconv"
+
+	"failtrans/internal/event"
+	"failtrans/internal/statemachine"
+)
+
+// This file is the bridge from ledger records back to the paper's
+// dangerous-path machinery. Each record describes one executed path
+// through commit-count space: some commits, possibly a fault activation,
+// possibly more commits, then a terminal (done, wrong output, crash).
+// PathEvents re-synthesizes that path as an event sequence that
+// statemachine.FromExecution accepts; the Miner merges every record's path
+// into one machine per (study, app, protocol) — states keyed by commit
+// count and activation — recoloring dangerous paths incrementally as runs
+// stream in, and cross-checking the ledger's recorded violation range
+// against statemachine.CommitViolations on each path.
+
+// activated reports whether the record's fault actually fired.
+func activated(r *Record) bool {
+	return r.Outcome != Inert && r.FireAt >= 0
+}
+
+// preActCommits counts the record's commits that precede fault activation.
+// With commit positions recorded (table1), the count is exact; without
+// them (table2), every commit is conservatively placed before the
+// activation — the study measures recovery outcomes, not positions.
+func preActCommits(r *Record) int {
+	if !activated(r) {
+		return r.CommitN
+	}
+	if r.Commits == nil || r.Activation < 0 {
+		return r.CommitN
+	}
+	k := 0
+	for _, c := range r.Commits {
+		if c < r.Activation {
+			k++
+		}
+	}
+	return k
+}
+
+// PathEvents synthesizes the record's executed path as an event sequence
+// for statemachine.FromExecution: the pre-activation commits, the fault
+// activation as a transient-ND event (FromExecution grants it the escape
+// edge the Lose-work theorem's conservative analysis requires), the
+// post-activation commits, and a crash event when the run crashed.
+func PathEvents(r *Record) []event.Event {
+	k := preActCommits(r)
+	evs := make([]event.Event, 0, r.CommitN+2)
+	commit := event.Event{Kind: event.Commit, Label: "commit"}
+	for i := 0; i < k; i++ {
+		evs = append(evs, commit)
+	}
+	if activated(r) {
+		evs = append(evs, event.Event{Kind: event.Internal, ND: event.TransientND, Label: "fault:" + r.Kind})
+		for j := k; j < r.CommitN; j++ {
+			evs = append(evs, commit)
+		}
+	}
+	if r.Outcome == Crashed {
+		evs = append(evs, event.Event{Kind: event.Crash, Label: "crash"})
+	}
+	return evs
+}
+
+// edgeKey identifies one mined transition.
+type edgeKey struct {
+	from, to statemachine.StateID
+	label    string
+	nd       event.NDClass
+}
+
+// Mined is one (study, app, protocol) group's merged machine. States are
+// keyed by position in commit-count space — "c<k>" after k pre-activation
+// commits, "a<k>/<kind>:<j>" after a <kind> fault activated at commit
+// count k followed by j more commits — plus the shared terminals "done",
+// "wrong", "crash" and the activation escape target. Keying by commit
+// count is what makes machines from different runs merge: two runs that
+// commit k times before their faults share the states c0..c<k>, and their
+// divergent fates accrue as alternative edges whose traversal counts
+// EdgeRuns records. Post-activation states are additionally keyed by fault
+// kind: the coloring marks a commit edge dangerous only when every
+// continuation through it crashes, so folding different kinds' (or fire
+// points') post-fault behavior into one chain would let one survivable
+// kind wash out another's always-fatal commits.
+type Mined struct {
+	Key    string
+	m      *statemachine.Machine
+	states map[string]statemachine.StateID
+	edges  map[edgeKey]statemachine.EventID
+	// EdgeRuns counts path traversals per machine edge (parallel to
+	// Machine.Edges).
+	EdgeRuns []int64
+	// Runs counts merged records; Checked and Mismatched count the per-run
+	// cross-checks of the ledger's violation range against
+	// statemachine.CommitViolations (FirstMismatch keeps the first
+	// discrepancy's description).
+	Runs          int64
+	Checked       int64
+	Mismatched    int64
+	FirstMismatch string
+
+	dirty bool
+	col   *statemachine.Coloring
+}
+
+func newMined(key string) *Mined {
+	return &Mined{
+		Key:    key,
+		m:      statemachine.New(0),
+		states: make(map[string]statemachine.StateID),
+		edges:  make(map[edgeKey]statemachine.EventID),
+	}
+}
+
+// Machine exposes the merged machine.
+func (md *Mined) Machine() *statemachine.Machine { return md.m }
+
+// Coloring returns the dangerous-path coloring of the merged machine,
+// recomputed lazily after new paths arrive — the "updated online" half of
+// incremental mining: each recoloring is a fixpoint over a machine whose
+// size is bounded by the campaign's maximum commit count, not by its run
+// count.
+func (md *Mined) Coloring() *statemachine.Coloring {
+	if md.dirty || md.col == nil {
+		md.col = md.m.DangerousPaths()
+		md.dirty = false
+	}
+	return md.col
+}
+
+func (md *Mined) state(key string) statemachine.StateID {
+	if id, ok := md.states[key]; ok {
+		return id
+	}
+	id := statemachine.StateID(md.m.NumStates)
+	md.m.NumStates++
+	md.states[key] = id
+	return id
+}
+
+func (md *Mined) edge(from, to statemachine.StateID, label string, nd event.NDClass) {
+	k := edgeKey{from: from, to: to, label: label, nd: nd}
+	id, ok := md.edges[k]
+	if !ok {
+		id = md.m.AddEdge(statemachine.Edge{From: from, To: to, ND: nd, Label: label})
+		md.edges[k] = id
+		md.EdgeRuns = append(md.EdgeRuns, 0)
+	}
+	md.EdgeRuns[id]++
+	md.dirty = true
+}
+
+// add merges one record's path into the machine and cross-checks its
+// recorded violation range when commit positions allow it.
+func (md *Mined) add(r *Record) {
+	md.Runs++
+	k := preActCommits(r)
+	cur := md.state("c0")
+	for i := 0; i < k; i++ {
+		next := md.state("c" + strconv.Itoa(i+1))
+		md.edge(cur, next, "commit", event.Deterministic)
+		cur = next
+	}
+	if activated(r) {
+		prefix := "a" + strconv.Itoa(k) + "/" + r.Kind
+		a := md.state(prefix + ":0")
+		md.edge(cur, a, "fault:"+r.Kind, event.TransientND)
+		md.edge(cur, md.state("escape"), "escape", event.TransientND)
+		cur = a
+		for j := k; j < r.CommitN; j++ {
+			next := md.state(prefix + ":" + strconv.Itoa(j-k+1))
+			md.edge(cur, next, "commit", event.Deterministic)
+			cur = next
+		}
+	}
+	switch r.Outcome {
+	case Crashed:
+		x := md.state("crash")
+		md.m.MarkCrash(x)
+		md.edge(cur, x, "crash", event.Deterministic)
+	case WrongOutput:
+		md.edge(cur, md.state("wrong"), "wrong-output", event.Deterministic)
+	default:
+		md.edge(cur, md.state("done"), "done", event.Deterministic)
+	}
+	md.crossCheck(r, k)
+}
+
+// crossCheck verifies, for records with exact commit positions, that the
+// violation range the emitter derived from the fault timeline matches what
+// the paper's own algorithm — FromExecution + CommitViolations over the
+// synthesized path — colors. The two computations share no code: the
+// emitter compares step positions against the activation/crash interval,
+// the algorithm runs the dangerous-paths fixpoint with escape edges.
+func (md *Mined) crossCheck(r *Record, k int) {
+	if r.Commits == nil || !activated(r) || r.Activation < 0 {
+		return
+	}
+	md.Checked++
+	viol := statemachine.CommitViolations(PathEvents(r), r.Outcome == Crashed)
+	// Map event indexes back to commit ordinals: the activation event sits
+	// between commit k-1 and commit k.
+	got := make([]int, 0, len(viol))
+	for _, ei := range viol {
+		ord := ei
+		if ei > k {
+			ord = ei - 1
+		}
+		got = append(got, ord)
+	}
+	want := make([]int, 0, r.ViolN)
+	if r.ViolFirst >= 0 {
+		for i := 0; i < r.ViolN; i++ {
+			want = append(want, r.ViolFirst+i)
+		}
+	}
+	if !equalInts(got, want) {
+		md.Mismatched++
+		if md.FirstMismatch == "" {
+			md.FirstMismatch = fmt.Sprintf("run %d: ledger says violations %v, dangerous-paths says %v", r.Run, want, got)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Miner merges ledger records into per-(study, app, protocol) machines as
+// they stream in.
+type Miner struct {
+	byKey map[string]*Mined
+	order []string
+}
+
+// NewMiner returns an empty miner.
+func NewMiner() *Miner {
+	return &Miner{byKey: make(map[string]*Mined)}
+}
+
+// MineKey is the machine-grouping key of a record.
+func MineKey(r *Record) string { return r.Study + "/" + r.App + "/" + r.Protocol }
+
+// Add merges one record.
+func (mn *Miner) Add(r *Record) {
+	key := MineKey(r)
+	md, ok := mn.byKey[key]
+	if !ok {
+		md = newMined(key)
+		mn.byKey[key] = md
+		mn.order = append(mn.order, key)
+	}
+	md.add(r)
+}
+
+// Keys lists mined groups in first-appearance (ledger) order.
+func (mn *Miner) Keys() []string { return mn.order }
+
+// Get returns one group's mined machine, or nil.
+func (mn *Miner) Get(key string) *Mined { return mn.byKey[key] }

@@ -1,0 +1,175 @@
+package ledger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// outcomeByName inverts outcomeNames for the reader.
+func outcomeByName(s string) (Outcome, bool) {
+	for i, n := range outcomeNames {
+		if n == s {
+			return Outcome(i), true
+		}
+	}
+	return 0, false
+}
+
+// ReadAll parses a complete ledger stream. It accepts comment lines
+// (leading '#') anywhere and validates the version line, the field count
+// of every record, and the commit-list/commit-count consistency.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		return nil, fmt.Errorf("ledger: empty input")
+	}
+	magic := sc.Text()
+	var v int
+	if _, err := fmt.Sscanf(magic, "ftledger v%d", &v); err != nil {
+		return nil, fmt.Errorf("ledger: bad magic line %q", magic)
+	}
+	if v != Version {
+		return nil, fmt.Errorf("ledger: unsupported version %d (reader speaks v%d)", v, Version)
+	}
+	var out []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFiles reads and concatenates several ledger files in argument order
+// (the multi-shard ftreport input).
+func ReadFiles(open func(string) (io.ReadCloser, error), paths []string) ([]Record, error) {
+	var out []Record
+	for _, p := range paths {
+		f, err := open(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := ReadAll(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+func parseLine(text string) (Record, error) {
+	var r Record
+	f := strings.Split(text, "|")
+	if len(f) != 21 {
+		return r, fmt.Errorf("have %d fields, want 21", len(f))
+	}
+	ints := func(idx int, dst *int) error {
+		v, err := strconv.Atoi(f[idx])
+		if err != nil {
+			return fmt.Errorf("field %d: %w", idx, err)
+		}
+		*dst = v
+		return nil
+	}
+	if err := ints(0, &r.Run); err != nil {
+		return r, err
+	}
+	r.Study, r.App, r.Protocol, r.Medium, r.Kind = f[1], f[2], f[3], f[4], f[5]
+	seed, err := strconv.ParseInt(f[6], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("seed: %w", err)
+	}
+	r.Seed = seed
+	fire, err := strconv.ParseInt(f[7], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("fire: %w", err)
+	}
+	r.FireAt = fire
+	out, ok := outcomeByName(f[8])
+	if !ok {
+		return r, fmt.Errorf("unknown outcome %q", f[8])
+	}
+	r.Outcome = out
+	for _, c := range f[9] {
+		switch c {
+		case 'L':
+			r.LoseWork = true
+		case 'S':
+			r.SaveWork = true
+		case 'R':
+			r.Recovered = true
+		case '-':
+		default:
+			return r, fmt.Errorf("unknown flag %q", string(c))
+		}
+	}
+	if err := ints(10, &r.Activation); err != nil {
+		return r, err
+	}
+	if err := ints(11, &r.Crash); err != nil {
+		return r, err
+	}
+	if err := ints(12, &r.Steps); err != nil {
+		return r, err
+	}
+	if err := ints(13, &r.WorldSteps); err != nil {
+		return r, err
+	}
+	if err := ints(14, &r.PrefixSteps); err != nil {
+		return r, err
+	}
+	vclock, err := strconv.ParseInt(f[15], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("vclock: %w", err)
+	}
+	r.VClockUS = vclock
+	if err := ints(16, &r.RollbackDepth); err != nil {
+		return r, err
+	}
+	if err := ints(17, &r.CommitN); err != nil {
+		return r, err
+	}
+	if err := ints(18, &r.ViolFirst); err != nil {
+		return r, err
+	}
+	if err := ints(19, &r.ViolN); err != nil {
+		return r, err
+	}
+	if f[20] != "-" {
+		parts := strings.Split(f[20], ",")
+		r.Commits = make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return r, fmt.Errorf("commit %d: %w", i, err)
+			}
+			r.Commits[i] = v
+		}
+		if len(r.Commits) != r.CommitN {
+			return r, fmt.Errorf("commit list has %d entries but commitn=%d", len(r.Commits), r.CommitN)
+		}
+	}
+	return r, nil
+}

@@ -59,6 +59,24 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a virtual-time duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// Merge folds histogram o into h. Buckets align exactly — every Histogram
+// uses the same HistBuckets log2 layout — so merging is an elementwise sum,
+// and merging per-process (or per-run) histograms is equivalent to having
+// observed every value into one histogram. Merge(nil) is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range o.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // Mean returns the mean observed value (0 when empty).
 func (h *Histogram) Mean() int64 {
 	if h.Count == 0 {
@@ -187,6 +205,78 @@ func NewMetrics(n int) *Metrics {
 		Procs:         make([]ProcMetrics, n),
 		Vista:         make([]VistaMetrics, n),
 		SyscallByName: make(map[string]int64),
+	}
+}
+
+// merge folds one process block into another (counter sums, gauge max,
+// histogram merges).
+func (p *ProcMetrics) merge(o *ProcMetrics) {
+	for i := range o.Events {
+		p.Events[i] += o.Events[i]
+	}
+	p.EffectivelyND += o.EffectivelyND
+	p.Logged += o.Logged
+	p.Commits += o.Commits
+	p.CommitBytes += o.CommitBytes
+	p.CommitPages += o.CommitPages
+	p.CommitLatency.Merge(&o.CommitLatency)
+	p.CommitSize.Merge(&o.CommitSize)
+	p.LogForces += o.LogForces
+	p.LogForceLatency.Merge(&o.LogForceLatency)
+	p.Rollbacks += o.Rollbacks
+	p.RolledBackEvents += o.RolledBackEvents
+	p.RollbackDepth.Merge(&o.RollbackDepth)
+	p.ReplayedEvents += o.ReplayedEvents
+	p.Crashes += o.Crashes
+	p.Syscalls += o.Syscalls
+	if o.InboxPeak > p.InboxPeak {
+		p.InboxPeak = o.InboxPeak
+	}
+}
+
+// merge folds one segment block into another.
+func (v *VistaMetrics) merge(o *VistaMetrics) {
+	v.Commits += o.Commits
+	v.Rollbacks += o.Rollbacks
+	v.PagesDirtied += o.PagesDirtied
+	v.UndoBytes += o.UndoBytes
+	v.HashHits += o.HashHits
+	v.HashMisses += o.HashMisses
+	v.PagesPrivatized += o.PagesPrivatized
+	v.BytesCOW += o.BytesCOW
+}
+
+// Merge folds registry o into m: counters sum, gauges take the max,
+// histograms merge bucket-for-bucket, and per-process slots pair up by
+// index (m grows if o has more processes). Merging per-run registries is
+// how a campaign aggregates observability across runs that each carried
+// their own registry. Merge(nil) is a no-op.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	for len(m.Procs) < len(o.Procs) {
+		m.Procs = append(m.Procs, ProcMetrics{})
+	}
+	for i := range o.Procs {
+		m.Procs[i].merge(&o.Procs[i])
+	}
+	for len(m.Vista) < len(o.Vista) {
+		m.Vista = append(m.Vista, VistaMetrics{})
+	}
+	for i := range o.Vista {
+		m.Vista[i].merge(&o.Vista[i])
+	}
+	m.Steps += o.Steps
+	m.TwoPhaseRounds += o.TwoPhaseRounds
+	m.FaultWindows += o.FaultWindows
+	m.FaultCorruptions += o.FaultCorruptions
+	m.KernelPanics += o.KernelPanics
+	if m.SyscallByName == nil {
+		m.SyscallByName = make(map[string]int64)
+	}
+	for name, c := range o.SyscallByName {
+		m.SyscallByName[name] += c
 	}
 }
 
