@@ -23,11 +23,18 @@
 // file's bytes are invariant across -parallel, -snapshots and -cow, and
 // cmd/ftreport turns it into the full campaign report.
 //
+// With -veto, the table1/table2 studies additionally arm each app's
+// Discount Checking instance with the matching mined commit-veto policy
+// from the named .ftv file (written by ftreport -veto); -experiment veto
+// instead runs the self-contained two-phase campaign (phase 1 mines the
+// policy, phase 2 re-runs the same seeds under it) and prints the
+// clawed-back violation delta.
+//
 // Usage:
 //
-//	ftbench -experiment all|fig8|table1|table2|space [-app nvi] [-scale 1] [-crashes 50]
+//	ftbench -experiment all|fig8|table1|table2|space|veto [-app nvi] [-scale 1] [-crashes 50]
 //	ftbench -bench [-json BENCH.json] [-scale 1]
-//	ftbench ... [-parallel N] [-json out.json] [-ledger campaign.ftl]
+//	ftbench ... [-parallel N] [-json out.json] [-ledger campaign.ftl] [-veto policy.ftv]
 //	ftbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -44,11 +51,12 @@ import (
 	"failtrans/internal/bench"
 	"failtrans/internal/obs"
 	"failtrans/internal/obs/ledger"
+	"failtrans/internal/statemachine"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig8 | table1 | table2 | space | all")
-	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks)")
+	experiment := flag.String("experiment", "all", "fig8 | table1 | table2 | space | veto | all")
+	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks) or veto to one app (nvi, postgres)")
 	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count (1 = serial; results are identical either way)")
@@ -57,6 +65,7 @@ func main() {
 	doBench := flag.Bool("bench", false, "run the commit microbenchmarks + Fig 8 drivers instead of an experiment")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this path")
 	ledgerPath := flag.String("ledger", "", "append one forensic record per run to this campaign-ledger file (for ftreport)")
+	vetoPath := flag.String("veto", "", "arm table1/table2 studies with mined commit-veto policies from this .ftv file (see ftreport -veto)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -67,6 +76,28 @@ func main() {
 	if *ledgerPath != "" && *doBench {
 		fmt.Fprintln(os.Stderr, "ftbench: -ledger records experiment runs; it cannot be combined with -bench")
 		os.Exit(2)
+	}
+	// Load -veto before any simulation so a bad policy file fails fast. The
+	// veto experiment mines its own phase-1 policy and must start veto-free.
+	var vetoPolicies []*statemachine.VetoPolicy
+	if *vetoPath != "" {
+		if *doBench || *experiment == "veto" {
+			fmt.Fprintln(os.Stderr, "ftbench: -veto arms table1/table2 studies; it cannot be combined with -bench or -experiment veto")
+			os.Exit(2)
+		}
+		f, err := os.Open(*vetoPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: -veto: %v\n", err)
+			os.Exit(1)
+		}
+		vetoPolicies, err = statemachine.ReadPolicies(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: -veto: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	var lw *ledger.Writer
 	var ledgerFlush func()
@@ -197,7 +228,7 @@ func main() {
 	}
 	if want("table1") {
 		run("table1", func() error {
-			res, err := bench.Table1(*crashes, *parallel, *snapshots, *cow, campObs, lw)
+			res, err := bench.Table1(*crashes, *parallel, *snapshots, *cow, campObs, lw, vetoPolicies)
 			if err != nil {
 				return err
 			}
@@ -208,7 +239,7 @@ func main() {
 	}
 	if want("table2") {
 		run("table2", func() error {
-			res, err := bench.Table2(*crashes, *parallel, *snapshots, *cow, campObs, lw)
+			res, err := bench.Table2(*crashes, *parallel, *snapshots, *cow, campObs, lw, vetoPolicies)
 			if err != nil {
 				return err
 			}
@@ -216,6 +247,28 @@ func main() {
 			report["table2"] = res
 			return nil
 		})
+	}
+	// "veto" is not part of "all": the two-phase campaign re-runs table1
+	// twice per app and exists to measure the mined policy, not the paper.
+	if *experiment == "veto" {
+		apps := []string{"nvi"}
+		if *app != "" {
+			apps = []string{*app}
+		}
+		var outs []*bench.VetoResult
+		for _, a := range apps {
+			a := a
+			run("veto/"+a, func() error {
+				res, err := bench.VetoCampaign(a, *crashes, *parallel, *snapshots, *cow, campObs, lw)
+				if err != nil {
+					return err
+				}
+				res.Print(os.Stdout)
+				outs = append(outs, res)
+				return nil
+			})
+		}
+		report["veto"] = outs
 	}
 	if want("space") {
 		run("space", func() error {

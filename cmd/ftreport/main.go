@@ -8,7 +8,9 @@
 //     cross-check verdicts;
 //   - a Perfetto/Chrome-trace campaign overview (one span per run over
 //     deterministic virtual worker tracks, colored by outcome);
-//   - a Graphviz rendering of one mined machine's dangerous-path coloring.
+//   - a Graphviz rendering of one mined machine's dangerous-path coloring;
+//   - a commit-veto policy file (.ftv) serializing every mined machine's
+//     commit-unsafe states, loadable by ftbench/ftsim -veto.
 //
 // Every output is a pure function of the ledger bytes, which are themselves
 // invariant across worker counts and snapshot modes — so two campaigns that
@@ -20,9 +22,11 @@
 //	ftreport -ledger campaign.ftl [-ledger more.ftl ...]
 //	         [-md report.md] [-trace trace.json -workers 8]
 //	         [-dot machine.dot [-key table1/nvi/two-phase]]
+//	         [-veto policy.ftv]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"failtrans/internal/obs/ledger"
+	"failtrans/internal/statemachine"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -46,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 8, "virtual worker tracks for -trace")
 	dotPath := flag.String("dot", "", "write a mined machine's Graphviz coloring to this file")
 	key := flag.String("key", "", "mined machine to render with -dot (study/app/protocol; default: first mined)")
+	vetoPath := flag.String("veto", "", "write the mined commit-veto policies (.ftv, for ftbench -veto) to this file")
 	flag.Parse()
 
 	// Validate the flag set before reading anything: a misspelled flag
@@ -72,7 +78,12 @@ func main() {
 		return os.Open(path)
 	}, ledgers)
 	if err != nil {
-		fail(err)
+		// A torn final record (crash mid-append) leaves a clean prefix;
+		// every other read error is fatal.
+		if !errors.Is(err, ledger.ErrTruncated) {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ftreport: warning: %v — analyzing the %d complete records before the tear\n", err, len(recs))
 	}
 	rp := ledger.Analyze(recs)
 
@@ -111,6 +122,15 @@ func main() {
 		}
 		writeTo(*dotPath, func(w io.Writer) error {
 			return rp.WriteMachineDot(w, k)
+		})
+	}
+	if *vetoPath != "" {
+		ps := rp.Miner.VetoPolicies()
+		if len(ps) == 0 {
+			fail(fmt.Errorf("no machines mined from %d records; nothing for -veto", len(recs)))
+		}
+		writeTo(*vetoPath, func(w io.Writer) error {
+			return statemachine.WritePolicies(w, ps)
 		})
 	}
 }

@@ -26,6 +26,11 @@
 // -ledger appends one forensic record per run (study "ftsim") to the named
 // campaign-ledger file — single runs and -seeds campaigns alike — for
 // cmd/ftreport and dangerous -ledger.
+//
+// -veto arms the run's Discount Checking instance with a mined commit-veto
+// policy (an .ftv file from ftreport -veto, key "ftsim/<app>/<protocol>"):
+// commits whose mined state is on a dangerous path are deferred, and the
+// run's veto counters are printed with the DC statistics.
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
+	"failtrans/internal/statemachine"
 	"failtrans/internal/trace"
 )
 
@@ -102,6 +108,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaign worker count for -seeds (1 = serial; output is identical either way)")
 	snapCheck := flag.Bool("snapshots", false, "fork self-check: fork the run mid-stream and verify the fork finishes byte-identically")
 	ledgerPath := flag.String("ledger", "", "append one forensic record per run to this campaign-ledger file (for ftreport)")
+	vetoPath := flag.String("veto", "", "arm the DC with a mined commit-veto policy from this .ftv file (key ftsim/<app>/<protocol>)")
 	var stops stopList
 	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
 	flag.Parse()
@@ -111,8 +118,8 @@ func main() {
 	}
 
 	if *snapCheck {
-		if *seeds > 1 || *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 || *ledgerPath != "" {
-			fail(fmt.Errorf("-snapshots supports none of -seeds, -tracefile, -dump, -metrics, -debug, -stop, -ledger"))
+		if *seeds > 1 || *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 || *ledgerPath != "" || *vetoPath != "" {
+			fail(fmt.Errorf("-snapshots supports none of -seeds, -tracefile, -dump, -metrics, -debug, -stop, -ledger, -veto"))
 		}
 		if err := runSnapshotCheck(*app, *polName, *mediumName, *scale, *seed); err != nil {
 			fail(err)
@@ -148,8 +155,8 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		if *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 {
-			fail(fmt.Errorf("-seeds campaigns support none of -tracefile, -dump, -metrics, -debug, -stop (run a single seed for those)"))
+		if *tracefile != "" || *dump != "" || *metricsFlag || *debug || len(stops) > 0 || *vetoPath != "" {
+			fail(fmt.Errorf("-seeds campaigns support none of -tracefile, -dump, -metrics, -debug, -stop, -veto (run a single seed for those)"))
 		}
 		if err := runCampaign(*app, *polName, *mediumName, *scale, *seed, *seeds, *parallel, lw); err != nil {
 			fail(err)
@@ -181,9 +188,14 @@ func main() {
 			fail(err)
 		}
 		d = dc.New(w, pol, medium)
+		if *vetoPath != "" {
+			armVeto(d, *vetoPath, "ftsim/"+*app+"/"+*polName)
+		}
 		if err := d.Attach(); err != nil {
 			fail(err)
 		}
+	} else if *vetoPath != "" {
+		fail(fmt.Errorf("-veto arms the DC's commit decisions; it needs a -protocol other than NONE"))
 	}
 	for _, s := range stops {
 		var proc, step int
@@ -218,6 +230,10 @@ func main() {
 		fmt.Printf("commit bytes:   %d  commit time: %v\n", d.Stats.CommitBytes, d.Stats.CommitTime)
 		fmt.Printf("log records:    %d (%d bytes)\n", d.Stats.LogRecords, d.Stats.LogBytes)
 		fmt.Printf("recoveries:     %d  2pc rounds: %d\n", d.Stats.Recoveries, d.Stats.TwoPhaseRounds)
+		if *vetoPath != "" {
+			fmt.Printf("commit veto:    %d consulted, %d vetoed (%d at save-work points)\n",
+				d.Stats.VetoConsults, d.Stats.CommitsVetoed, d.Stats.VetoedSaveWork)
+		}
 	}
 	// The paper's §3 heuristic, applied to this run's event mix.
 	sum := trace.Summarize(w.Trace)
@@ -292,6 +308,35 @@ func main() {
 		lw.Append(rec)
 		ledger.Put(rec)
 		ledgerClose()
+	}
+}
+
+// armVeto loads the .ftv policy file and installs the policy for key on the
+// DC's commit-veto hook. ftsim records carry no fault activation, so the
+// run's mined position is simply CommitStateKey(n) after n commits — the
+// same commit-count space ftsim-study machines are keyed in.
+func armVeto(d *dc.DC, path, key string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(fmt.Errorf("-veto: %w", err))
+	}
+	ps, err := statemachine.ReadPolicies(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(fmt.Errorf("-veto: %w", err))
+	}
+	pol := statemachine.FindPolicy(ps, key)
+	if pol == nil {
+		keys := make([]string, 0, len(ps))
+		for _, p := range ps {
+			keys = append(keys, p.Key)
+		}
+		fail(fmt.Errorf("-veto: no policy for %q in %s (have: %s)", key, path, strings.Join(keys, ", ")))
+	}
+	d.CommitVeto = func(p *sim.Proc, label string) bool {
+		return pol.CommitUnsafe(ledger.CommitStateKey(d.Stats.TotalCheckpoints()))
 	}
 }
 

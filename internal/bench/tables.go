@@ -9,6 +9,7 @@ import (
 	"failtrans/internal/obs"
 	"failtrans/internal/obs/ledger"
 	"failtrans/internal/protocol"
+	"failtrans/internal/statemachine"
 )
 
 // wallClock supplies wall-clock nanoseconds to the studies' fork-latency
@@ -31,8 +32,10 @@ type Table1Result struct {
 // CI study diffs cow on/off); campObs, if non-nil, collects per-worker
 // campaign counters; lw, if non-nil, receives one forensic ledger record per
 // run (byte-identical across workers, snapshots and cow — the record holds
-// only logical coordinates).
-func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer) (*Table1Result, error) {
+// only logical coordinates); veto, if non-empty, arms each app's study with
+// its matching mined commit-veto policy (key "table1/<app>/<protocol>";
+// apps without a matching policy run veto-free).
+func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer, veto []*statemachine.VetoPolicy) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewAppStudy(app)
@@ -44,6 +47,7 @@ func Table1(crashTarget, workers int, snapshots, cow bool, campObs *obs.Campaign
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		s.Ledger = lw
+		s.Veto = statemachine.FindPolicy(veto, "table1/"+app+"/"+s.Policy.Name)
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err
@@ -100,8 +104,8 @@ type Table2Result struct {
 }
 
 // Table2 runs the OS fault-injection study; workers, snapshots, cow,
-// campObs and lw behave as in Table1.
-func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer) (*Table2Result, error) {
+// campObs, lw and veto behave as in Table1 (policy keys "table2/...").
+func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer, veto []*statemachine.VetoPolicy) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, app := range []string{"nvi", "postgres"} {
 		s := faults.NewOSStudy(app)
@@ -113,6 +117,7 @@ func Table2(crashTarget, workers int, snapshots, cow bool, campObs *obs.Campaign
 		s.WallClock = wallClock
 		s.CampaignObs = campObs
 		s.Ledger = lw
+		s.Veto = statemachine.FindPolicy(veto, "table2/"+app+"/"+s.Policy.Name)
 		rs, err := s.Run()
 		if err != nil {
 			return nil, err

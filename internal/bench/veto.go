@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"failtrans/internal/faults"
+	"failtrans/internal/obs"
+	"failtrans/internal/obs/ledger"
+)
+
+// VetoResult wraps one application's two-phase commit-veto campaign for
+// printing and -json.
+type VetoResult struct {
+	App     string
+	Outcome *faults.VetoOutcome
+}
+
+// VetoCampaign runs the two-phase commit-veto campaign for one application:
+// phase 1 reproduces the Table 1 study while mining the dangerous-path
+// machine in memory, phase 2 re-runs the identical seeds with the mined
+// commit veto armed. workers/snapshots/cow/campObs/lw behave as in Table1;
+// both phases' records (phase 2 flagged 'V') land in lw when set.
+func VetoCampaign(app string, crashTarget, workers int, snapshots, cow bool, campObs *obs.CampaignMetrics, lw *ledger.Writer) (*VetoResult, error) {
+	s := faults.NewAppStudy(app)
+	s.CrashTarget = crashTarget
+	s.MaxRunsPerType = crashTarget * 12
+	s.Parallel = workers
+	s.Snapshots = snapshots
+	s.COW = cow
+	s.WallClock = wallClock
+	s.CampaignObs = campObs
+	s.Ledger = lw
+	out, err := s.RunVeto()
+	if err != nil {
+		return nil, err
+	}
+	return &VetoResult{App: app, Outcome: out}, nil
+}
+
+// Print renders the per-kind baseline-vs-veto comparison and the totals.
+func (v *VetoResult) Print(w io.Writer) {
+	o := v.Outcome
+	fmt.Fprintf(w, "Commit veto (two-phase) for %s\n", o.Key)
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %12s\n", "Fault Type", "crashes", "base viol", "veto viol", "clawed back")
+	for _, d := range o.Deltas {
+		fmt.Fprintf(w, "%-20s %10d %10d %10d %12d\n",
+			d.Kind, d.Baseline.Crashes, d.Baseline.Violations, d.Vetoed.Violations, d.ClawedBack())
+	}
+	base := o.BaselineViolations()
+	fmt.Fprintf(w, "%-20s %10s %10d %10d %12d\n", "Total", "", base, base-o.ClawedBack, o.ClawedBack)
+	fmt.Fprintf(w, "cost: %d commits vetoed, %d at save-work decision points\n", o.VetoedCommits, o.VetoedSaveWork)
+	fmt.Fprintf(w, "policy: mined from %d runs, %d commit-unsafe states\n", o.Policy.Runs, len(o.Policy.Unsafe))
+}

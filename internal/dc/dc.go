@@ -49,6 +49,14 @@ type Stats struct {
 	Recoveries int
 	// TwoPhaseRounds counts coordinated-commit rounds.
 	TwoPhaseRounds int
+	// VetoConsults counts CommitVeto policy consultations; CommitsVetoed
+	// the commits the policy deferred. VetoedSaveWork counts deferred
+	// commits at Save-work decision points (commit-before-visible and
+	// coordinated visible commits) — each one is output made visible
+	// without a covering commit, the Save-work cost the veto induces.
+	VetoConsults   int
+	CommitsVetoed  int
+	VetoedSaveWork int
 }
 
 // TotalCheckpoints sums commits across processes.
@@ -124,6 +132,17 @@ type DC struct {
 	// CommitHook, if set, is called after every commit (fault studies
 	// record commit positions through it).
 	CommitHook func(p *sim.Proc, label string)
+	// CommitVeto, if set, is consulted before every policy-driven commit
+	// (every label except the "initial" checkpoint, which the theory
+	// requires unconditionally). Returning true defers the commit: no
+	// state changes, no time is charged, and the run proceeds uncommitted
+	// until the policy relents at a later decision point. The fault
+	// studies wire this to a mined dangerous-path coloring — the commit
+	// veto that trades induced Save-work violations (counted in
+	// Stats.VetoedSaveWork, never hidden) for Lose-work safety. Setting
+	// the hook forces coordinated commits onto the serial member path so
+	// every member's commit funnels through the veto check.
+	CommitVeto func(p *sim.Proc, label string) bool
 	// RecoveryHook, if set, is called after every successful rollback.
 	RecoveryHook func(p *sim.Proc, reason string)
 	// DisableRecovery leaves crashed processes dead (the fault studies
@@ -224,9 +243,36 @@ func (d *DC) seg(i int) *vista.Segment {
 // the process crashes instead of committing corrupt state.
 var errCheckFailed = errors.New("dc: pre-commit consistency check failed")
 
+// vetoed consults the CommitVeto policy for one commit decision point and
+// keeps the deferred-commit books. The initial checkpoint is exempt: "the
+// initial state of any application is always committed".
+func (d *DC) vetoed(p *sim.Proc, label string) bool {
+	if d.CommitVeto == nil || label == "initial" {
+		return false
+	}
+	d.Stats.VetoConsults++
+	if !d.CommitVeto(p, label) {
+		return false
+	}
+	d.Stats.CommitsVetoed++
+	if label == "before-visible" || label == "2pc-visible" {
+		d.Stats.VetoedSaveWork++
+	}
+	if m := d.World.Metrics; m != nil {
+		m.Procs[p.Index].CommitsVetoed++
+	}
+	if t := d.World.Tracer; t != nil {
+		t.Instant(p.Index, "dc", "commit-vetoed", p.Ctx().NowVirtual())
+	}
+	return true
+}
+
 // commitOne checkpoints a single process: the consistency/log preamble,
 // the page diff+log, and the bookkeeping, in order.
 func (d *DC) commitOne(p *sim.Proc, label string) error {
+	if d.vetoed(p, label) {
+		return nil
+	}
 	if d.CheckBeforeCommit {
 		if c, ok := p.Prog.(sim.Checker); ok {
 			d.World.AddTime(p, 20*time.Microsecond)
@@ -328,7 +374,7 @@ func (d *DC) commitCoordinated(trigger *sim.Proc, members []*sim.Proc, label str
 	if tr != nil {
 		tr.SpanArgs(trigger.Index, "dc", "2pc", start, rounds, "label", label, "members", int64(len(members)))
 	}
-	if d.SerialCommit || d.CheckBeforeCommit || d.Policy.LogAsync || len(members) < 2 {
+	if d.SerialCommit || d.CheckBeforeCommit || d.Policy.LogAsync || d.CommitVeto != nil || len(members) < 2 {
 		for _, q := range members {
 			fid := d.flowToMember(tr, trigger, q, start)
 			qs := q.Ctx().NowVirtual()

@@ -9,11 +9,11 @@ import (
 // Discount Checking state — Vista segments mid-transaction, ND logs and
 // replay cursors, dependency maps, commit epochs — against the forked world
 // w, so the copy recovers and commits exactly as the original would from
-// this point on. The CommitHook/RecoveryHook/ExpandResourcesOnCrash
-// callbacks do NOT carry over: they are per-run harness wiring (the
-// original's closures would observe the wrong run); callers re-install
-// their own on the returned *DC (the concrete type is the return value's
-// dynamic type).
+// this point on. The CommitHook/RecoveryHook/CommitVeto/
+// ExpandResourcesOnCrash callbacks do NOT carry over: they are per-run
+// harness wiring (the original's closures would observe the wrong run);
+// callers re-install their own on the returned *DC (the concrete type is
+// the return value's dynamic type).
 //
 // Forking a frozen DC is copy-on-write: segments fork as overlay views of
 // the frozen template pages, the ND logs and message-dependency map are

@@ -15,6 +15,7 @@ import (
 	"failtrans/internal/recovery"
 	"failtrans/internal/sim"
 	"failtrans/internal/stablestore"
+	"failtrans/internal/statemachine"
 )
 
 // AppFaultTypes lists Table 1's seven fault types in the paper's order.
@@ -157,6 +158,21 @@ type AppStudy struct {
 	// coordinates (step positions, virtual time), which forking preserves,
 	// so they are also identical with Snapshots/COW on or off.
 	Ledger *ledger.Writer
+	// RecordHook, if non-nil, also receives every accepted run's record (in
+	// serial run order, before the record returns to the pool). The
+	// two-phase veto campaign mines phase 1's machine through it without
+	// any file round-trip.
+	RecordHook func(*ledger.Record)
+	// Veto, if non-nil, arms dc's commit-veto hook with a mined
+	// dangerous-path policy: before every policy-driven commit the run
+	// locates itself in the mined machine's commit-count space (the same
+	// CommitStateKey/ActStateKey coordinates the miner uses) and the
+	// commit is deferred when the policy marks that state doomed. Veto-off
+	// studies are byte-identical to pre-veto ones — the hook is never
+	// installed, and mined pre-activation states are never doomed (every
+	// activation grants its source state an uncolorable escape edge), so
+	// the shared snapshot template needs no veto of its own.
+	Veto *statemachine.VetoPolicy
 }
 
 // NewAppStudy returns the paper's configuration for the given app.
@@ -212,11 +228,34 @@ func (s *AppStudy) cleanOutputs(seed int64) ([]string, error) {
 	return w.Outputs[0], nil
 }
 
+// fireBase is the first eligible fire point, in fault-site visits: the
+// paper skips the first few visits so faults land in steady-state
+// execution, not in startup.
+const fireBase = 5
+
+// fireSpan is the width of the fire-point draw window. It scales with the
+// session but never collapses below one, so fireAtFor is total for every
+// SessionLen >= 1 (SessionLen/2 alone is zero for a one-step session, and
+// Intn(0) panics).
+func (s *AppStudy) fireSpan() int {
+	span := s.SessionLen / 2
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// fireHorizon is the deepest fault-site visit any injector can still fire
+// at — the maximum fireAtFor draw. The snapshot template stops capturing
+// past it; deriving both from fireSpan keeps the draw window and the
+// template horizon from drifting apart.
+func (s *AppStudy) fireHorizon() int { return fireBase + s.fireSpan() - 1 }
+
 // fireAtFor derives the injection run's fire point (in fault-site visits)
-// from its injection seed.
+// from its injection seed, uniform over [fireBase, fireHorizon].
 func (s *AppStudy) fireAtFor(injSeed int64) int {
 	r := newSplitmix(injSeed ^ 0x5deece66d)
-	return 5 + r.Intn(s.SessionLen/2)
+	return fireBase + r.Intn(s.fireSpan())
 }
 
 // noteReplay accounts one activated run's re-executed clean prefix: the
@@ -271,6 +310,36 @@ func (s *AppStudy) finishRun(w *sim.World, inj *oneShot, commits []int, clean []
 	return res
 }
 
+// records reports whether the study fills per-run forensic records (for
+// the ledger file, the in-memory record hook, or both).
+func (s *AppStudy) records() bool { return s.Ledger != nil || s.RecordHook != nil }
+
+// armVeto installs the study's commit-veto policy on one run's DC. The
+// closure tracks the run's position in the mined machine's commit-count
+// space from the same commits slice the CommitHook fills: after n commits
+// with no activation the run is at CommitStateKey(n); after activation it
+// is at ActStateKey(k, kind, n-k) with k the commits strictly before the
+// activation step — exactly how the miner places ledger records, so the
+// policy's verdicts transfer.
+func (s *AppStudy) armVeto(d *dc.DC, inj *oneShot, commits *[]int) {
+	if s.Veto == nil {
+		return
+	}
+	d.CommitVeto = func(p *sim.Proc, label string) bool {
+		n := len(*commits)
+		if !inj.fired {
+			return s.Veto.CommitUnsafe(ledger.CommitStateKey(n))
+		}
+		k := 0
+		for _, c := range *commits {
+			if c < inj.firedAt {
+				k++
+			}
+		}
+		return s.Veto.CommitUnsafe(ledger.ActStateKey(k, inj.kind.String(), n-k))
+	}
+}
+
 // ledgerRecord renders one finished injection run as a forensic record.
 // Every field is a logical coordinate of the simulated run — process step
 // positions, world step counts, virtual time — all of which World.Fork
@@ -278,8 +347,13 @@ func (s *AppStudy) finishRun(w *sim.World, inj *oneShot, commits []int, clean []
 // scratch, from a deep-copied snapshot, or from a COW overlay. The
 // physical counts that DO differ by mode (steps actually re-executed,
 // fork latencies) stay in obs.SnapshotMetrics.
-func (s *AppStudy) ledgerRecord(kind sim.FaultKind, w *sim.World, inj *oneShot, commits []int, res RunResult) *ledger.Record {
+func (s *AppStudy) ledgerRecord(kind sim.FaultKind, w *sim.World, d *dc.DC, inj *oneShot, commits []int, res RunResult) *ledger.Record {
 	r := ledger.Get()
+	if s.Veto != nil {
+		r.VetoActive = true
+		r.VetoN = d.Stats.CommitsVetoed
+		r.VetoSaveWorkN = d.Stats.VetoedSaveWork
+	}
 	r.Study = "table1"
 	r.App = s.App
 	r.Protocol = s.Policy.Name
@@ -336,7 +410,12 @@ func (s *AppStudy) acceptLedger(run int, rec *ledger.Record) {
 		return
 	}
 	rec.Run = run
-	s.Ledger.Append(rec)
+	if s.Ledger != nil {
+		s.Ledger.Append(rec)
+	}
+	if s.RecordHook != nil {
+		s.RecordHook(rec)
+	}
 	ledger.Put(rec)
 }
 
@@ -361,6 +440,7 @@ func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (Ru
 	d.CommitHook = func(p *sim.Proc, label string) {
 		commits = append(commits, p.Steps)
 	}
+	s.armVeto(d, inj, &commits)
 	if err := d.Attach(); err != nil {
 		return res, err
 	}
@@ -372,8 +452,8 @@ func (s *AppStudy) RunOne(kind sim.FaultKind, injSeed int64, clean []string) (Ru
 	if res.Crashed {
 		res.Recovered = s.endToEnd(kind, inj.fireAt)
 	}
-	if s.Ledger != nil {
-		res.Rec = s.ledgerRecord(kind, w, inj, commits, res)
+	if s.records() {
+		res.Rec = s.ledgerRecord(kind, w, d, inj, commits, res)
 	}
 	return res, nil
 }
@@ -393,6 +473,16 @@ func (s *AppStudy) endToEnd(kind sim.FaultKind, fireAt int) bool {
 	w.Faults = inj
 	d := dc.New(w, s.Policy, stablestore.Rio)
 	d.CheckBeforeCommit = s.CheckBeforeCommit
+	// The end-to-end check runs under the same veto the measured run did;
+	// a one-shot injector stays fired across rollback, so post-recovery
+	// commits keep consulting the activated chain.
+	var commits []int
+	if s.Veto != nil {
+		d.CommitHook = func(p *sim.Proc, label string) {
+			commits = append(commits, p.Steps)
+		}
+		s.armVeto(d, inj, &commits)
+	}
 	crashes := 0
 	d.RecoveryHook = func(p *sim.Proc, reason string) {
 		crashes++
@@ -444,6 +534,9 @@ func (s *AppStudy) campaignConfig(phase string) campaign.Config {
 // type (the clean prefix is fault-type-independent); the cache is
 // immutable once built, so parallel workers fork it freely.
 func (s *AppStudy) Run() ([]TypeResult, error) {
+	if s.SessionLen < 1 {
+		return nil, fmt.Errorf("faults: SessionLen %d, need >= 1", s.SessionLen)
+	}
 	var out []TypeResult
 	clean, err := s.cleanOutputs(s.Seed)
 	if err != nil {
@@ -469,9 +562,7 @@ func (s *AppStudy) Run() ([]TypeResult, error) {
 				return s.RunOne(kind, injSeed, clean)
 			},
 			func(run int, res RunResult) bool {
-				if s.Ledger != nil {
-					s.acceptLedger(run, res.Rec)
-				}
+				s.acceptLedger(run, res.Rec)
 				tr.Runs++
 				if res.WrongOutput {
 					tr.WrongOutput++

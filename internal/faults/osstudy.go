@@ -89,6 +89,27 @@ func (m *memoryScribble) At(p *sim.Proc, site string) sim.FaultKind {
 	return sim.HeapBitFlip
 }
 
+// armOSVeto installs the study's commit-veto policy on one OS-study run's
+// DC. Table 2 records carry only a commit count (no positions), so its
+// mined machines place every commit before the activation; the runtime
+// tracker mirrors that approximation: before injection the run sits at
+// CommitStateKey(n) for n commits so far, after injection at
+// ActStateKey(n, kind, 0). Counts come from d.Stats, which both the
+// from-scratch and the forked path carry (fillOSRecord uses the same
+// source), keeping the veto mode-invariant.
+func (o *OSStudy) armOSVeto(d *dc.DC, kind sim.FaultKind, injected *bool) {
+	if o.Veto == nil {
+		return
+	}
+	d.CommitVeto = func(p *sim.Proc, label string) bool {
+		n := d.Stats.TotalCheckpoints()
+		if !*injected {
+			return o.Veto.CommitUnsafe(ledger.CommitStateKey(n))
+		}
+		return o.Veto.CommitUnsafe(ledger.ActStateKey(n, kind.String(), 0))
+	}
+}
+
 // fillOSRecord renders one finished OS-study run into its forensic record.
 // The kernel study measures recovery outcomes, not event positions, so the
 // record carries the commit count (forked DC stats include the template's
@@ -112,6 +133,11 @@ func (o *OSStudy) fillOSRecord(rec *ledger.Record, kind sim.FaultKind, w *sim.Wo
 	rec.VClockUS = int64(w.Clock / time.Microsecond)
 	rec.CommitN = d.Stats.TotalCheckpoints()
 	rec.SaveWork = propagated
+	if o.Veto != nil {
+		rec.VetoActive = true
+		rec.VetoN = d.Stats.CommitsVetoed
+		rec.VetoSaveWorkN = d.Stats.VetoedSaveWork
+	}
 	switch {
 	case !injected:
 		rec.Outcome = ledger.Inert
@@ -163,6 +189,8 @@ func (o *OSStudy) runOne(kind sim.FaultKind, injSeed int64, rec *ledger.Record) 
 			d.DisableRecovery = true // crash-looping on committed corruption
 		}
 	}
+	injected := false
+	o.armOSVeto(d, kind, &injected)
 	if err := d.Attach(); err != nil {
 		return false, false, false, err
 	}
@@ -175,7 +203,6 @@ func (o *OSStudy) runOne(kind sim.FaultKind, injSeed int64, rec *ledger.Record) 
 	r := newSplitmix(injSeed)
 	injectAt := time.Duration(float64(cleanDur) * (0.05 + 0.9*r.Float64()))
 	window := osFaultWindow[kind]
-	injected := false
 	injSteps := -1
 	for {
 		more, err := w.Step()
@@ -253,7 +280,7 @@ func (o *OSStudy) Run() ([]OSTypeResult, error) {
 			func(run int) (osRun, error) {
 				injSeed := o.Seed*77777 + int64(run)
 				var rec *ledger.Record
-				if o.Ledger != nil {
+				if o.records() {
 					rec = ledger.Get()
 				}
 				if cache != nil {
@@ -264,9 +291,7 @@ func (o *OSStudy) Run() ([]OSTypeResult, error) {
 				return osRun{crashed, recovered, propagated, rec}, err
 			},
 			func(run int, r osRun) bool {
-				if o.Ledger != nil {
-					o.acceptLedger(run, r.rec)
-				}
+				o.acceptLedger(run, r.rec)
 				tr.Runs++
 				if r.propagated {
 					tr.Propagations++

@@ -184,9 +184,9 @@ func (s *AppStudy) buildPrefixCache() (*prefixCache, error) {
 	if err := cache.capture(s, w, vc.visits, commits); err != nil {
 		return nil, err
 	}
-	// fireAtFor draws from [5, 4+SessionLen/2]; past that visit count no
-	// injector can still fire, so deeper snapshots would serve nobody.
-	horizon := 4 + s.SessionLen/2
+	// fireAtFor draws from [fireBase, fireHorizon]; past that visit count
+	// no injector can still fire, so deeper snapshots would serve nobody.
+	horizon := s.fireHorizon()
 	last := 0
 	for vc.visits < horizon {
 		more, err := w.Step()
@@ -224,6 +224,10 @@ func (s *AppStudy) runOneSnap(kind sim.FaultKind, injSeed int64, clean []string,
 	d.CommitHook = func(p *sim.Proc, label string) {
 		commits = append(commits, p.Steps)
 	}
+	// The template ran veto-free (pre-activation states are never doomed,
+	// so a veto would have deferred nothing anyway); the fork gets the
+	// study's policy armed over its full commit history.
+	s.armVeto(d, inj, &commits)
 	if err := w.Run(); err != nil {
 		return res, err
 	}
@@ -233,11 +237,11 @@ func (s *AppStudy) runOneSnap(kind sim.FaultKind, injSeed int64, clean []string,
 	if res.Crashed {
 		res.Recovered = s.endToEndSnap(kind, inj.fireAt, cache)
 	}
-	if s.Ledger != nil {
+	if s.records() {
 		// Every record field is fork-invariant (the fork resumed at the
 		// template's step count and clock), so this record is
 		// byte-identical to the one RunOne would have produced.
-		res.Rec = s.ledgerRecord(kind, w, inj, commits, res)
+		res.Rec = s.ledgerRecord(kind, w, d, inj, commits, res)
 	}
 	return res, nil
 }
@@ -254,6 +258,13 @@ func (s *AppStudy) endToEndSnap(kind sim.FaultKind, fireAt int, cache *prefixCac
 	inj := &oneShot{kind: kind, fireAt: fireAt, visits: snap.visits}
 	w.Faults = inj
 	d.DisableRecovery = false
+	if s.Veto != nil {
+		commits := append([]int(nil), snap.commits...)
+		d.CommitHook = func(p *sim.Proc, label string) {
+			commits = append(commits, p.Steps)
+		}
+		s.armVeto(d, inj, &commits)
+	}
 	crashes := 0
 	d.RecoveryHook = func(p *sim.Proc, reason string) {
 		crashes++
@@ -354,6 +365,7 @@ func (o *OSStudy) runOneSnap(kind sim.FaultKind, injSeed int64, cache *prefixCac
 	window := osFaultWindow[kind]
 	injected := false
 	injSteps := -1
+	o.armOSVeto(d, kind, &injected)
 	for {
 		more, err := w.Step()
 		if err != nil {

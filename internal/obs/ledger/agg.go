@@ -7,13 +7,16 @@ import (
 )
 
 // GroupKey identifies one aggregation cell: a study's (app, protocol,
-// medium, fault-kind) combination.
+// medium, fault-kind) combination. Veto-phase runs aggregate separately
+// (Veto true) so the main tables keep reporting the baseline and the veto
+// section can pair each cell with its counterpart.
 type GroupKey struct {
 	Study    string
 	App      string
 	Protocol string
 	Medium   string
 	Kind     string
+	Veto     bool
 }
 
 // Group accumulates one cell's cross-run aggregates. Every field is
@@ -55,6 +58,12 @@ type Group struct {
 
 	// VClockSum sums run virtual time (µs) for mean-duration reporting.
 	VClockSum int64
+
+	// VetoN sums the commits the veto policy deferred across the cell's
+	// runs; VetoSaveWork the deferrals at Save-work (visible output)
+	// decision points. Zero for baseline cells.
+	VetoN        int64
+	VetoSaveWork int64
 }
 
 // ViolationPct is the Table 1 / Table 2 cell: percent of crashes whose
@@ -89,7 +98,7 @@ func heatBucket(fire int64) int {
 
 // Add folds one record in.
 func (a *Aggregator) Add(r *Record) {
-	key := GroupKey{Study: r.Study, App: r.App, Protocol: r.Protocol, Medium: r.Medium, Kind: r.Kind}
+	key := GroupKey{Study: r.Study, App: r.App, Protocol: r.Protocol, Medium: r.Medium, Kind: r.Kind, Veto: r.VetoActive}
 	g, ok := a.byKey[key]
 	if !ok {
 		g = &Group{Key: key, DoomIndex: make(map[int]int64)}
@@ -130,6 +139,8 @@ func (a *Aggregator) Add(r *Record) {
 		g.DoomIndex[r.ViolFirst]++
 	}
 	g.VClockSum += r.VClockUS
+	g.VetoN += int64(r.VetoN)
+	g.VetoSaveWork += int64(r.VetoSaveWorkN)
 }
 
 // Groups lists cells in first-appearance order.

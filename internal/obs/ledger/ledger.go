@@ -116,6 +116,14 @@ type Record struct {
 	// [Activation, Crash] that doom recovery. ViolFirst is -1 when none.
 	ViolFirst int
 	ViolN     int
+	// VetoActive marks runs executed under a commit-veto policy (flag 'V'
+	// on disk); VetoN counts commits the policy deferred and VetoSaveWorkN
+	// the deferred commits at Save-work decision points (visible output) —
+	// the induced Save-work cost the veto trades for Lose-work safety.
+	// New in ftledger v2; v1 records read back with all three zero.
+	VetoActive    bool
+	VetoN         int
+	VetoSaveWorkN int
 }
 
 // Reset clears the record for reuse, keeping the Commits capacity.

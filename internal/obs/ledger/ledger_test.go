@@ -29,7 +29,8 @@ func sampleRecords() []Record {
 		{Run: 2, Study: "table2", App: "postgres", Protocol: "CPVS", Medium: "rio", Kind: "delete branch",
 			Seed: 7, FireAt: 110_000, Outcome: Crashed, LoseWork: false, Recovered: true, SaveWork: true,
 			Activation: -1, Crash: -1, Steps: 400, WorldSteps: 700, PrefixSteps: 333,
-			VClockUS: 5_000_000, RollbackDepth: -1, CommitN: 17, ViolFirst: -1},
+			VClockUS: 5_000_000, RollbackDepth: -1, CommitN: 17, ViolFirst: -1,
+			VetoActive: true, VetoN: 4, VetoSaveWorkN: 1},
 		{Run: 3, Study: "fig8", App: "magic", Protocol: "baseline", Medium: "disk", Kind: "none",
 			Seed: 11, FireAt: -1, Outcome: Completed,
 			Activation: -1, Crash: -1, Steps: 80, WorldSteps: 100, PrefixSteps: -1,
@@ -116,8 +117,8 @@ func TestReaderRejects(t *testing.T) {
 	}()
 	headerOnly := valid[:strings.Index(valid, "\n0|")+1]
 	cases := map[string]string{
-		"bad magic":      strings.Replace(valid, "ftledger v1", "notaledger", 1),
-		"future version": strings.Replace(valid, "ftledger v1", "ftledger v9", 1),
+		"bad magic":      strings.Replace(valid, "ftledger v2", "notaledger", 1),
+		"future version": strings.Replace(valid, "ftledger v2", "ftledger v9", 1),
 		"short line":     headerOnly + "0|only|three\n",
 		"bad outcome":    strings.Replace(valid, "|crash|L|", "|exploded|L|", 1),
 		"commit count":   strings.Replace(valid, "3,7,40", "3,7", 1),

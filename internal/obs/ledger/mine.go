@@ -68,6 +68,19 @@ func PathEvents(r *Record) []event.Event {
 	return evs
 }
 
+// CommitStateKey names the mined-machine state reached after k
+// pre-activation commits ("c<k>"; "c0" is the start state). The same
+// naming is used by the runtime veto tracker in internal/faults, so a
+// live run and the mined machine agree on where the run currently is.
+func CommitStateKey(k int) string { return "c" + strconv.Itoa(k) }
+
+// ActStateKey names the mined-machine state reached after a <kind> fault
+// activated at commit count k followed by j further commits
+// ("a<k>/<kind>:<j>").
+func ActStateKey(k int, kind string, j int) string {
+	return "a" + strconv.Itoa(k) + "/" + kind + ":" + strconv.Itoa(j)
+}
+
 // edgeKey identifies one mined transition.
 type edgeKey struct {
 	from, to statemachine.StateID
@@ -161,20 +174,19 @@ func (md *Mined) edge(from, to statemachine.StateID, label string, nd event.NDCl
 func (md *Mined) add(r *Record) {
 	md.Runs++
 	k := preActCommits(r)
-	cur := md.state("c0")
+	cur := md.state(CommitStateKey(0))
 	for i := 0; i < k; i++ {
-		next := md.state("c" + strconv.Itoa(i+1))
+		next := md.state(CommitStateKey(i + 1))
 		md.edge(cur, next, "commit", event.Deterministic)
 		cur = next
 	}
 	if activated(r) {
-		prefix := "a" + strconv.Itoa(k) + "/" + r.Kind
-		a := md.state(prefix + ":0")
+		a := md.state(ActStateKey(k, r.Kind, 0))
 		md.edge(cur, a, "fault:"+r.Kind, event.TransientND)
 		md.edge(cur, md.state("escape"), "escape", event.TransientND)
 		cur = a
 		for j := k; j < r.CommitN; j++ {
-			next := md.state(prefix + ":" + strconv.Itoa(j-k+1))
+			next := md.state(ActStateKey(k, r.Kind, j-k+1))
 			md.edge(cur, next, "commit", event.Deterministic)
 			cur = next
 		}
@@ -252,8 +264,17 @@ func NewMiner() *Miner {
 	return &Miner{byKey: make(map[string]*Mined)}
 }
 
-// MineKey is the machine-grouping key of a record.
-func MineKey(r *Record) string { return r.Study + "/" + r.App + "/" + r.Protocol }
+// MineKey is the machine-grouping key of a record. Veto-phase runs mine
+// into their own "/veto" machine: their commit chains are reshaped by the
+// policy itself, and folding them into the baseline machine would corrupt
+// the very coloring the policy came from.
+func MineKey(r *Record) string {
+	k := r.Study + "/" + r.App + "/" + r.Protocol
+	if r.VetoActive {
+		k += "/veto"
+	}
+	return k
+}
 
 // Add merges one record.
 func (mn *Miner) Add(r *Record) {

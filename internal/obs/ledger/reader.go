@@ -2,11 +2,19 @@ package ledger
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// ErrTruncated reports a ledger whose final line is not newline-terminated
+// — the signature of a file torn mid-append by a crash. ReadAll returns
+// the complete records preceding the tear alongside an error wrapping
+// ErrTruncated, so callers can distinguish "torn tail, prefix is good"
+// (recoverable: analyze the prefix) from in-line corruption (not).
+var ErrTruncated = errors.New("ledger: truncated final record")
 
 // outcomeByName inverts outcomeNames for the reader.
 func outcomeByName(s string) (Outcome, bool) {
@@ -18,72 +26,105 @@ func outcomeByName(s string) (Outcome, bool) {
 	return 0, false
 }
 
-// ReadAll parses a complete ledger stream. It accepts comment lines
-// (leading '#') anywhere and validates the version line, the field count
-// of every record, and the commit-list/commit-count consistency.
-func ReadAll(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("ledger: %w", err)
-		}
-		return nil, fmt.Errorf("ledger: empty input")
+// fieldCount is the per-version record field count: v2 appends the
+// veton|vetosw columns before the commit list.
+func fieldCount(version int) int {
+	if version >= 2 {
+		return 23
 	}
-	magic := sc.Text()
+	return 21
+}
+
+// ReadAll parses a ledger stream. It accepts comment lines (leading '#')
+// anywhere, validates the version line (v1 and v2 are accepted; v1
+// records read back with zero veto fields), the field count of every
+// record, and the commit-list/commit-count consistency.
+//
+// A stream whose final line lacks its newline — including a tear inside
+// the header — yields every record before the tear plus an error wrapping
+// ErrTruncated. Lines that are complete but malformed remain hard errors.
+func ReadAll(r io.Reader) ([]Record, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	line := 0
+	// next returns the following newline-terminated line (sans newline).
+	// done distinguishes clean EOF from a torn tail: a non-empty remainder
+	// without a newline is the torn-append signature.
+	next := func() (text string, done bool, err error) {
+		s, err := br.ReadString('\n')
+		if err == nil {
+			line++
+			return strings.TrimSuffix(s, "\n"), false, nil
+		}
+		if err == io.EOF {
+			if s == "" {
+				return "", true, nil
+			}
+			return "", true, fmt.Errorf("ledger: line %d: %w", line+1, ErrTruncated)
+		}
+		return "", true, fmt.Errorf("ledger: %w", err)
+	}
+	magic, done, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return nil, fmt.Errorf("ledger: empty input: %w", ErrTruncated)
+	}
 	var v int
 	if _, err := fmt.Sscanf(magic, "ftledger v%d", &v); err != nil {
 		return nil, fmt.Errorf("ledger: bad magic line %q", magic)
 	}
-	if v != Version {
-		return nil, fmt.Errorf("ledger: unsupported version %d (reader speaks v%d)", v, Version)
+	if v < 1 || v > Version {
+		return nil, fmt.Errorf("ledger: unsupported version %d (reader speaks v1..v%d)", v, Version)
 	}
 	var out []Record
-	line := 1
-	for sc.Scan() {
-		line++
-		text := sc.Text()
+	for {
+		text, done, err := next()
+		if err != nil {
+			return out, err
+		}
+		if done {
+			return out, nil
+		}
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		rec, err := parseLine(text)
+		rec, err := parseLine(text, v)
 		if err != nil {
 			return nil, fmt.Errorf("ledger: line %d: %w", line, err)
 		}
 		out = append(out, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ledger: %w", err)
-	}
-	return out, nil
 }
 
 // ReadFiles reads and concatenates several ledger files in argument order
-// (the multi-shard ftreport input).
+// (the multi-shard ftreport input). On error the records parsed so far are
+// returned alongside it, so a caller that recognizes errors.Is(err,
+// ErrTruncated) can analyze the complete prefix of a torn shard.
 func ReadFiles(open func(string) (io.ReadCloser, error), paths []string) ([]Record, error) {
 	var out []Record
 	for _, p := range paths {
 		f, err := open(p)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		recs, err := ReadAll(f)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
-		}
 		out = append(out, recs...)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", p, err)
+		}
 	}
 	return out, nil
 }
 
-func parseLine(text string) (Record, error) {
+func parseLine(text string, version int) (Record, error) {
 	var r Record
 	f := strings.Split(text, "|")
-	if len(f) != 21 {
-		return r, fmt.Errorf("have %d fields, want 21", len(f))
+	if want := fieldCount(version); len(f) != want {
+		return r, fmt.Errorf("have %d fields, want %d (v%d)", len(f), want, version)
 	}
 	ints := func(idx int, dst *int) error {
 		v, err := strconv.Atoi(f[idx])
@@ -120,6 +161,8 @@ func parseLine(text string) (Record, error) {
 			r.SaveWork = true
 		case 'R':
 			r.Recovered = true
+		case 'V':
+			r.VetoActive = true
 		case '-':
 		default:
 			return r, fmt.Errorf("unknown flag %q", string(c))
@@ -157,8 +200,18 @@ func parseLine(text string) (Record, error) {
 	if err := ints(19, &r.ViolN); err != nil {
 		return r, err
 	}
-	if f[20] != "-" {
-		parts := strings.Split(f[20], ",")
+	commitsField := 20
+	if version >= 2 {
+		if err := ints(20, &r.VetoN); err != nil {
+			return r, err
+		}
+		if err := ints(21, &r.VetoSaveWorkN); err != nil {
+			return r, err
+		}
+		commitsField = 22
+	}
+	if f[commitsField] != "-" {
+		parts := strings.Split(f[commitsField], ",")
 		r.Commits = make([]int, len(parts))
 		for i, p := range parts {
 			v, err := strconv.Atoi(p)

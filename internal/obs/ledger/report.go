@@ -44,11 +44,13 @@ func (rp *Report) studies() []string {
 	return out
 }
 
-// groupsOf filters groups by study, preserving order.
+// groupsOf filters baseline groups by study, preserving order. Veto-phase
+// cells are excluded: the main tables report the baseline, and the veto
+// section pairs each veto cell with its counterpart.
 func (rp *Report) groupsOf(study string) []*Group {
 	var out []*Group
 	for _, g := range rp.Agg.Groups() {
-		if g.Key.Study == study {
+		if g.Key.Study == study && !g.Key.Veto {
 			out = append(out, g)
 		}
 	}
@@ -129,8 +131,55 @@ func (rp *Report) WriteMarkdown(w io.Writer) error {
 		}
 	}
 
+	rp.writeVeto(w)
 	rp.writeMachines(w)
 	return nil
+}
+
+// writeVeto renders the two-phase veto comparison: every veto-phase cell
+// paired with its baseline counterpart (same key modulo the Veto bit),
+// the Lose-work violations the veto clawed back, and the cost it paid —
+// commits deferred overall and at Save-work decision points.
+func (rp *Report) writeVeto(w io.Writer) {
+	var vetoGroups []*Group
+	for _, g := range rp.Agg.Groups() {
+		if g.Key.Veto {
+			vetoGroups = append(vetoGroups, g)
+		}
+	}
+	if len(vetoGroups) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n## Commit veto\n\n")
+	fmt.Fprintf(w, "Phase-2 runs re-executed under the mined dangerous-path commit veto,\n")
+	fmt.Fprintf(w, "paired with their phase-1 baselines. \"clawed back\" counts Lose-work\n")
+	fmt.Fprintf(w, "violations the veto prevented; \"vetoed\" the commits it deferred;\n")
+	fmt.Fprintf(w, "\"save-work cost\" the deferrals at visible-output decision points.\n\n")
+	fmt.Fprintf(w, "| study | app | protocol | kind | crashes | violations base→veto | clawed back | vetoed | save-work cost |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|\n")
+	var totBase, totVeto, totN, totSW int64
+	for _, g := range vetoGroups {
+		baseKey := g.Key
+		baseKey.Veto = false
+		baseViol := int64(-1)
+		if b := rp.Agg.byKey[baseKey]; b != nil {
+			baseViol = b.LoseWork
+		}
+		baseCell, clawCell := "?", "?"
+		if baseViol >= 0 {
+			baseCell = strconv.FormatInt(baseViol, 10)
+			clawCell = strconv.FormatInt(baseViol-g.LoseWork, 10)
+			totBase += baseViol
+			totVeto += g.LoseWork
+		}
+		totN += g.VetoN
+		totSW += g.VetoSaveWork
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %s→%d | %s | %d | %d |\n",
+			g.Key.Study, g.Key.App, g.Key.Protocol, g.Key.Kind, g.Crashes,
+			baseCell, g.LoseWork, clawCell, g.VetoN, g.VetoSaveWork)
+	}
+	fmt.Fprintf(w, "| **Total** | | | | | %d→%d | %d | %d | %d |\n",
+		totBase, totVeto, totBase-totVeto, totN, totSW)
 }
 
 // writeFaultTable renders one fault study's per-kind violation matrix plus

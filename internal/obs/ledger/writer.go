@@ -7,14 +7,16 @@ import (
 	"strings"
 )
 
-// Version is the ledger format version the writer emits and the reader
-// accepts.
-const Version = 1
+// Version is the ledger format version the writer emits. The reader also
+// accepts v1 (21 fields, no veto columns, no 'V' flag); v2 appends the
+// veton|vetosw columns before the commit list and adds the 'V' flag for
+// veto-active runs.
+const Version = 2
 
 // header is the two-line file preamble: a versioned magic line and a
 // column-name comment.
-const header = "ftledger v1\n" +
-	"# run|study|app|protocol|medium|kind|seed|fire|outcome|flags|act|crash|steps|wsteps|prefix|vclock_us|rbdepth|commitn|violfirst|violn|commits\n"
+const header = "ftledger v2\n" +
+	"# run|study|app|protocol|medium|kind|seed|fire|outcome|flags|act|crash|steps|wsteps|prefix|vclock_us|rbdepth|commitn|violfirst|violn|veton|vetosw|commits\n"
 
 // errBadField rejects a record whose string field contains the separator
 // or a newline; the sticky error surfaces at the first Err check.
@@ -108,6 +110,9 @@ func (w *Writer) Append(r *Record) {
 	if r.Recovered {
 		b = append(b, 'R')
 	}
+	if r.VetoActive {
+		b = append(b, 'V')
+	}
 	if len(b) == n {
 		b = append(b, '-')
 	}
@@ -122,6 +127,8 @@ func (w *Writer) Append(r *Record) {
 	b = appendInt(b, int64(r.CommitN))
 	b = appendInt(b, int64(r.ViolFirst))
 	b = appendInt(b, int64(r.ViolN))
+	b = appendInt(b, int64(r.VetoN))
+	b = appendInt(b, int64(r.VetoSaveWorkN))
 	if len(r.Commits) == 0 {
 		b = append(b, '-')
 	} else {

@@ -125,10 +125,12 @@ type ProcMetrics struct {
 
 	// Commits / CommitBytes / CommitPages account the Discount Checking
 	// commit path; CommitLatency is the per-commit virtual-time cost and
-	// CommitSize the per-commit dirty payload in bytes.
+	// CommitSize the per-commit dirty payload in bytes. CommitsVetoed
+	// counts commits a CommitVeto policy deferred.
 	Commits       int64
 	CommitBytes   int64
 	CommitPages   int64
+	CommitsVetoed int64
 	CommitLatency Histogram
 	CommitSize    Histogram
 
@@ -219,6 +221,7 @@ func (p *ProcMetrics) merge(o *ProcMetrics) {
 	p.Commits += o.Commits
 	p.CommitBytes += o.CommitBytes
 	p.CommitPages += o.CommitPages
+	p.CommitsVetoed += o.CommitsVetoed
 	p.CommitLatency.Merge(&o.CommitLatency)
 	p.CommitSize.Merge(&o.CommitSize)
 	p.LogForces += o.LogForces
@@ -320,7 +323,7 @@ func (m *Metrics) WriteSnapshot(w io.Writer) error {
 			p.Events[event.Receive], p.Events[event.Commit], p.Events[event.Crash])
 		fmt.Fprintf(w, "  effectively_nd %d\n", p.EffectivelyND)
 		fmt.Fprintf(w, "  logged %d\n", p.Logged)
-		fmt.Fprintf(w, "  commits %d bytes=%d pages=%d\n", p.Commits, p.CommitBytes, p.CommitPages)
+		fmt.Fprintf(w, "  commits %d bytes=%d pages=%d vetoed=%d\n", p.Commits, p.CommitBytes, p.CommitPages, p.CommitsVetoed)
 		writeHist(w, "  ", "commit_latency_ns", &p.CommitLatency)
 		writeHist(w, "  ", "commit_size_bytes", &p.CommitSize)
 		fmt.Fprintf(w, "  log_forces %d\n", p.LogForces)

@@ -111,6 +111,10 @@ type Coloring struct {
 	m *Machine
 	// Colored[id] reports that edge id lies on a dangerous path.
 	Colored []bool
+	// out caches the machine's adjacency (edge IDs grouped by from-state)
+	// as of the fixpoint run, so per-commit queries like CommitUnsafeAt
+	// cost O(out-degree) instead of rebuilding the O(E) index each call.
+	out [][]EventID
 }
 
 // DangerousPaths runs the Single-Process Dangerous Paths Algorithm to a
@@ -121,8 +125,8 @@ type Coloring struct {
 // least one outgoing event. A state with no outgoing events that is not a
 // crash state models successful completion, and committing there is safe.
 func (m *Machine) DangerousPaths() *Coloring {
-	c := &Coloring{m: m, Colored: make([]bool, len(m.Edges))}
-	out := m.outgoing()
+	c := &Coloring{m: m, Colored: make([]bool, len(m.Edges)), out: m.outgoing()}
+	out := c.out
 	for i := range m.Edges {
 		if m.IsCrashEvent(EventID(i)) {
 			c.Colored[i] = true
@@ -185,13 +189,13 @@ func (c *Coloring) CommitUnsafeAt(s StateID) bool {
 	if c.m.CrashStates[s] {
 		return true
 	}
-	return c.stateDoomed(s, c.m.outgoing())
+	return c.stateDoomed(s, c.out)
 }
 
 // SafeCommitStates returns all states where a commit cannot violate
 // Lose-work, sorted.
 func (c *Coloring) SafeCommitStates() []StateID {
-	out := c.m.outgoing()
+	out := c.out
 	var states []StateID
 	for s := 0; s < c.m.NumStates; s++ {
 		sid := StateID(s)
