@@ -1,0 +1,18 @@
+package cowcheck_test
+
+import (
+	"testing"
+
+	"failtrans/internal/analysis/analysistest"
+	"failtrans/internal/analysis/cowcheck"
+)
+
+// TestCowcheck runs the pass over its golden fixture: the PR 6 nvi bug in
+// miniature (insertBad), branch/loop dominance, same-statement and
+// both-arms privatization, the copy/append/mutator store classes, the
+// receiver-mismatch rule, fresh-object and privatizer-body exemptions, a
+// "none"-payload field, a cowok suppression — and, via cowclient, that
+// field facts propagate to stores in a dependent package.
+func TestCowcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src", cowcheck.New(), "cow", "cowclient")
+}

@@ -1,0 +1,17 @@
+// Package cowclient proves cowshared facts cross package boundaries: the
+// annotation lives on cow.Editor, the stores live here.
+package cowclient
+
+import "cow"
+
+// Smash writes a dependency's COW-shared field without privatizing.
+func Smash(e *cow.Editor, row int) {
+	e.Lines[row] = nil // want `store through COW-shared field Editor\.Lines`
+}
+
+// Polite reaches the exported privatizer first, which the imported fact
+// resolves.
+func Polite(e *cow.Editor, row int) {
+	e.SnapshotUndo()
+	e.Lines[row] = nil
+}

@@ -1,0 +1,120 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// run parses one function body, builds its CFG, and asks whether the
+// unique statement assigning to `target` is guarded by a call to guard().
+// The snippets declare target/guard/cond/etc. as package-level names so
+// they parse without a type checker.
+func run(t *testing.T, body string) bool {
+	t.Helper()
+	src := `package p
+
+var target, i int
+var cond, other bool
+var ch chan int
+var xs []int
+var v any
+
+func guard() int { return 0 }
+func work()      {}
+
+func f() {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	var store ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "target" {
+					store = as
+				}
+			}
+		}
+		return true
+	})
+	if store == nil {
+		t.Fatalf("no `target = ...` statement in:\n%s", body)
+	}
+	g := New(fn.Body)
+	return g.GuardedAt(store, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "guard"
+	})
+}
+
+func TestGuardedAt(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight-line", `guard(); target = 1`, true},
+		{"no guard", `work(); target = 1`, false},
+		{"guard after store", `target = 1; guard()`, false},
+		{"same statement", `target = guard()`, true},
+		{"then-branch only", `if cond { guard() }; target = 1`, false},
+		{"both branches", `if cond { guard() } else { guard() }; target = 1`, true},
+		{"guard in condition", `if guard() > 0 { work() }; target = 1`, true},
+		{"guarded then-branch store", `if cond { guard(); target = 1 }`, true},
+		{"else returns", `if cond { guard() } else { return }; target = 1`, true},
+		{"then returns unguarded else", `if cond { return }; guard(); target = 1`, true},
+		{"guard before loop", `guard(); for i = 0; cond; i++ { target = 1 }`, true},
+		{"guard after store in loop", `for cond { target = 1; guard() }`, false},
+		{"guard each iteration", `for cond { guard(); target = 1 }`, true},
+		{"break skips guard", `for { if cond { break }; guard() }; target = 1`, false},
+		{"infinite loop guards exit", `for { guard(); if cond { break } }; target = 1`, true},
+		{"continue re-checks", `for cond { if other { continue }; guard() }; target = 1`, false},
+		{"range body", `guard(); for i = range xs { target = 1 }`, true},
+		{"range unguarded", `for i = range xs { target = 1 }`, false},
+		{"switch all cases", "switch i {\ncase 0:\n\tguard()\ndefault:\n\tguard()\n}\ntarget = 1", true},
+		{"switch missing default", `switch i { case 0: guard() }; target = 1`, false},
+		{"switch default missing guard", "switch i {\ncase 0:\n\tguard()\ndefault:\n\twork()\n}\ntarget = 1", false},
+		// Direct dispatch to case 1 bypasses case 0's guard, so the
+		// fallthrough path alone must not sanction the store.
+		{"switch fallthrough is not the only entry", "switch i {\ncase 0:\n\tguard()\n\tfallthrough\ncase 1:\n\ttarget = 1\n}", false},
+		{"guard in switch tag", `switch guard() { case 0: target = 1 }`, true},
+		{"switch fallthrough unguarded entry", "switch i {\ncase 0:\n\tfallthrough\ncase 1:\n\tguard()\ndefault:\n\twork()\n}\ntarget = 1", false},
+		{"type switch guarded arm", `switch v.(type) { case int: guard(); target = 1 }`, true},
+		{"select both comms", "select {\ncase <-ch:\n\tguard()\ncase ch <- 1:\n\tguard()\n}\ntarget = 1", true},
+		{"select one comm", "select {\ncase <-ch:\n\tguard()\ncase ch <- 1:\n\twork()\n}\ntarget = 1", false},
+		{"deferred guard does not count", `defer guard(); target = 1`, false},
+		{"go guard does not count", `go guard(); target = 1`, false},
+		{"guard in closure does not count", `_ = func() { guard() }; target = 1`, false},
+		{"store in closure after guard", `guard(); _ = func() { target = 1 }`, true},
+		{"panic terminates path", `if cond { panic("x") }; guard(); target = 1`, true},
+		{"panic branch not a guard", `if cond { panic("x") }; target = 1`, false},
+		{"goto skips guard", `if cond { goto done }; guard(); done: target = 1`, false},
+		{"labeled break", `outer: for { for { guard(); break outer } }; target = 1`, true},
+		{"labeled break skips guard", `outer: for { for { if cond { break outer }; guard() } }; target = 1`, false},
+		{"unreachable store", `return; target = 1`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(t, tc.body); got != tc.want {
+				t.Errorf("GuardedAt = %v, want %v for:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}

@@ -8,8 +8,12 @@
 //
 // Three rules, checked only in the configured deterministic-core packages:
 //
-//  1. No wall clock: calls to time.Now, time.Since, or time.Until. The
-//     simulator owns a virtual clock; wall-clock reads diverge run to run.
+//  1. No wall clock: calls to time.Now, time.Since, or time.Until, and no
+//     wall-clock timers — time.After, time.Tick, time.AfterFunc,
+//     time.NewTimer, time.NewTicker. The simulator owns a virtual clock;
+//     wall-clock reads and timer fires diverge run to run. os.Getpid and
+//     os.Getppid are banned for the same reason: process identity is a
+//     per-run hash/RNG seed in disguise.
 //  2. No global math/rand: calls to math/rand (or math/rand/v2)
 //     package-level functions, whose shared RNG is seeded per process.
 //     Deterministic locals built with rand.New(rand.NewSource(seed)) are
@@ -95,6 +99,14 @@ func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
 		case "Now", "Since", "Until":
 			pass.Reportf(call.Pos(),
 				"call to time.%s reads the wall clock; the deterministic core must use the simulator's virtual clock", fn.Name())
+		case "After", "Tick", "AfterFunc", "NewTimer", "NewTicker":
+			pass.Reportf(call.Pos(),
+				"call to time.%s arms a wall-clock runtime timer; the deterministic core must schedule through the simulator's virtual clock", fn.Name())
+		}
+	case "os":
+		if fn.Name() == "Getpid" || fn.Name() == "Getppid" {
+			pass.Reportf(call.Pos(),
+				"call to os.%s leaks process identity (a per-run hash/RNG seed in disguise); derive seeds from the campaign's seed chain", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
 		if !allowedRandFuncs[fn.Name()] {

@@ -20,6 +20,26 @@ func Clock() time.Duration {
 	return d + virtual
 }
 
+// Timers demonstrates the wall-clock timer half of rule 1: every
+// timer-arming constructor is banned, while reading a timer handed in
+// (t.C) or stopping it stays silent.
+func Timers(t *time.Timer) {
+	<-time.After(time.Millisecond)      // want `call to time.After arms a wall-clock runtime timer`
+	_ = time.Tick(time.Second)          // want `call to time.Tick arms a wall-clock runtime timer`
+	_ = time.NewTimer(time.Second)      // want `call to time.NewTimer arms a wall-clock runtime timer`
+	_ = time.NewTicker(time.Second)     // want `call to time.NewTicker arms a wall-clock runtime timer`
+	_ = time.AfterFunc(time.Second, nil) // want `call to time.AfterFunc arms a wall-clock runtime timer`
+	t.Stop() // methods on an existing timer are fine
+}
+
+// Seed demonstrates the process-identity rule: pid-seeded hashing diverges
+// across runs.
+func Seed() uint64 {
+	h := uint64(os.Getpid()) // want `call to os.Getpid leaks process identity`
+	h ^= uint64(os.Getppid()) // want `call to os.Getppid leaks process identity`
+	return h * 0x9e3779b97f4a7c15
+}
+
 // Roll demonstrates rule 2: no draws from the global math/rand generator.
 func Roll(seed int64) int {
 	if rand.Intn(6) == 0 { // want `call to global rand.Intn draws from the shared nondeterministically-seeded RNG`

@@ -16,17 +16,33 @@ import (
 //	//failtrans:errok <reason>    silence a durability finding
 //	//failtrans:hotpath           mark a function as a zero-allocation
 //	                              hot-path root (in its doc comment)
+//	//failtrans:cowok <reason>    silence a cowcheck finding
+//	//failtrans:cowshared <privatizers> [prose]
+//	                              mark a struct field as possibly aliasing a
+//	                              frozen fork template; <privatizers> is a
+//	                              comma-separated list of the calls that
+//	                              must dominate every store (or "none")
+//	//failtrans:intercepted       mark a function as an interception-
+//	                              alphabet boundary (in its doc comment)
+//	//failtrans:uninterceptible <reason>
+//	                              silence an interceptcheck finding and stop
+//	                              alphabet-reachability through a call on
+//	                              that line
 //
-// The three suppression tags REQUIRE a human-readable reason; the driver
+// The suppression tags REQUIRE a human-readable reason; the driver
 // reports a directive-level diagnostic when one is missing, so CI cannot
 // go green with an unexplained suppression. A trailing suppression (code
 // before it on the line) applies to findings on its own line; a standalone
 // comment line applies to the line directly below it.
 const (
-	TagNondet  = "nondet"
-	TagAlloc   = "alloc"
-	TagErrok   = "errok"
-	TagHotpath = "hotpath"
+	TagNondet          = "nondet"
+	TagAlloc           = "alloc"
+	TagErrok           = "errok"
+	TagHotpath         = "hotpath"
+	TagCowshared       = "cowshared"
+	TagCowok           = "cowok"
+	TagIntercepted     = "intercepted"
+	TagUninterceptible = "uninterceptible"
 )
 
 const directivePrefix = "//failtrans:"
@@ -49,18 +65,45 @@ func parseDirective(c *ast.Comment) (Directive, bool) {
 	return Directive{Pos: c.Pos(), Tag: strings.TrimSpace(tag), Reason: strings.TrimSpace(reason)}, true
 }
 
+// Directives returns every failtrans directive in a comment group, in
+// source order. Annotation-driven passes (cowcheck's field annotations,
+// interceptcheck's boundary marks) read them from Doc/Comment groups.
+func Directives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FindDirective returns the first directive with the given tag in a
+// comment group.
+func FindDirective(cg *ast.CommentGroup, tag string) (Directive, bool) {
+	for _, d := range Directives(cg) {
+		if d.Tag == tag {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
 // HotpathAnnotated reports whether a function's doc comment carries the
 // //failtrans:hotpath root annotation.
 func HotpathAnnotated(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if d, ok := parseDirective(c); ok && d.Tag == TagHotpath {
-			return true
-		}
-	}
-	return false
+	_, ok := FindDirective(doc, TagHotpath)
+	return ok
+}
+
+// InterceptedAnnotated reports whether a function's doc comment carries
+// the //failtrans:intercepted boundary annotation.
+func InterceptedAnnotated(doc *ast.CommentGroup) bool {
+	_, ok := FindDirective(doc, TagIntercepted)
+	return ok
 }
 
 // directiveIndex records, per file and line, the suppression tags in
@@ -135,13 +178,21 @@ func (ix *directiveIndex) suppressed(pos token.Pos, tag string) bool {
 func (ix *directiveIndex) validate(report func(Diagnostic)) {
 	for _, d := range ix.all {
 		switch d.Tag {
-		case TagNondet, TagAlloc, TagErrok:
+		case TagNondet, TagAlloc, TagErrok, TagCowok, TagUninterceptible:
 			if d.Reason == "" {
 				report(Diagnostic{Pos: d.Pos, Analyzer: "directive",
 					Message: "suppression //failtrans:" + d.Tag + " requires a reason"})
 			}
-		case TagHotpath:
-			// An annotation, not a suppression; no reason needed.
+		case TagCowshared:
+			// An annotation carrying a payload: the privatizer list is
+			// mandatory ("none" for fields whose every store needs a
+			// written cowok justification).
+			if d.Reason == "" {
+				report(Diagnostic{Pos: d.Pos, Analyzer: "directive",
+					Message: "//failtrans:cowshared requires a privatizer list (or \"none\")"})
+			}
+		case TagHotpath, TagIntercepted:
+			// Annotations, not suppressions; no reason needed.
 		default:
 			report(Diagnostic{Pos: d.Pos, Analyzer: "directive",
 				Message: "unknown failtrans directive tag \"" + d.Tag + "\""})

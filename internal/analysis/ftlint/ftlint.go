@@ -1,7 +1,7 @@
 // Package ftlint assembles the failtrans invariant checkers — detlint,
-// hotpathcheck, durability — with this repository's package configuration,
-// for cmd/ftlint and for the repo-wide regression test that keeps the tree
-// lint-clean.
+// hotpathcheck, durability, cowcheck, interceptcheck — with this
+// repository's package configuration, for cmd/ftlint and for the
+// repo-wide regression test that keeps the tree lint-clean.
 package ftlint
 
 import (
@@ -11,9 +11,11 @@ import (
 	"strings"
 
 	"failtrans/internal/analysis"
+	"failtrans/internal/analysis/cowcheck"
 	"failtrans/internal/analysis/detlint"
 	"failtrans/internal/analysis/durability"
 	"failtrans/internal/analysis/hotpath"
+	"failtrans/internal/analysis/interceptcheck"
 )
 
 // DeterministicCore lists the packages whose execution must be a pure
@@ -44,6 +46,33 @@ var DurabilityStrict = []string{
 	"failtrans/internal/vista",
 }
 
+// RecoverableCore lists the packages whose externally-visible effects
+// must all flow through the intercepted event alphabet: the paper's
+// recovery protocol can only replay what the DC layer logged, so an
+// effect that escapes interception here is exactly the "unintercepted
+// environment interaction" failure class of §4. interceptcheck treats
+// every function in these packages as a workload root. A scratch package
+// planted under internal/apps by the CI negative check is picked up
+// automatically via the prefix match.
+var RecoverableCore = []string{
+	"failtrans/internal/apps",
+	"failtrans/internal/kernel",
+	"failtrans/internal/protocol",
+}
+
+// InterceptionBoundary lists the packages that ARE the intercepted event
+// alphabet — the DC hooks, the simulated kernel's syscall surface, the
+// simulator's send/recv/clock, stable storage, and the observability
+// sinks fed from them. Reachability stops here: effects inside a
+// boundary package are by definition intercepted.
+var InterceptionBoundary = []string{
+	"failtrans/internal/dc",
+	"failtrans/internal/sim",
+	"failtrans/internal/stablestore",
+	"failtrans/internal/obs",
+	"failtrans/internal/event",
+}
+
 // Analyzers returns the ftlint suite. extraDetPkgs extends detlint's
 // deterministic core (the CI negative check plants a scratch package and
 // passes it here).
@@ -53,12 +82,25 @@ func Analyzers(extraDetPkgs ...string) []*analysis.Analyzer {
 		detlint.New(det...),
 		hotpath.New(),
 		durability.New(DurabilityStrict...),
+		cowcheck.New(),
+		interceptcheck.New(interceptcheck.Config{
+			Core:        RecoverableCore,
+			Boundary:    InterceptionBoundary,
+			StableStore: []string{"failtrans/internal/stablestore"},
+		}),
 	}
 }
 
 // Run lints the module that contains dir with the full suite and returns
 // the findings. Patterns default to ./... .
 func Run(dir string, patterns []string, extraDetPkgs ...string) (*analysis.Result, error) {
+	return RunParallel(dir, patterns, 0, extraDetPkgs...)
+}
+
+// RunParallel is Run with an explicit package-loading parallelism cap
+// (0 = GOMAXPROCS, 1 = the old serial loader; the CI timing guard
+// compares the two).
+func RunParallel(dir string, patterns []string, parallel int, extraDetPkgs ...string) (*analysis.Result, error) {
 	root, modpath, err := findModule(dir)
 	if err != nil {
 		return nil, err
@@ -70,6 +112,7 @@ func Run(dir string, patterns []string, extraDetPkgs ...string) (*analysis.Resul
 		Dir:        root,
 		ModulePath: modpath,
 		Patterns:   patterns,
+		Parallel:   parallel,
 	}, Analyzers(extraDetPkgs...))
 }
 

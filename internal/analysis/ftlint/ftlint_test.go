@@ -76,6 +76,120 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	}
 }
 
+// TestPlantedCowStoreIsCaught plants the PR-6 bug shape in a temp module:
+// a store through a //failtrans:cowshared field with no dominating
+// privatizer call must yield a cowcheck finding.
+func TestPlantedCowStoreIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module failtrans\n\ngo 1.22\n")
+	write(t, filepath.Join(dir, "internal", "scratch", "scratch.go"), `package scratch
+
+type Buf struct {
+	//failtrans:cowshared privatize
+	lines [][]byte
+	shared bool
+}
+
+func (b *Buf) privatize() {
+	if b.shared {
+		out := make([][]byte, len(b.lines))
+		copy(out, b.lines)
+		b.lines = out
+		b.shared = false
+	}
+}
+
+func (b *Buf) Bad(i int) { b.lines[i] = nil }
+
+func (b *Buf) Good(i int) {
+	b.privatize()
+	b.lines[i] = nil
+}
+`)
+	res, err := ftlint.Run(dir, nil)
+	if err != nil {
+		t.Fatalf("ftlint.Run: %v", err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the planted one: %v", len(res.Diags), res.Diags)
+	}
+	if d := res.Diags[0]; d.Analyzer != "cowcheck" || !strings.Contains(d.Message, "Buf.lines") {
+		t.Errorf("wrong diagnostic for the plant: %s: %s", d.Analyzer, d.Message)
+	}
+}
+
+// TestPlantedEffectIsCaught plants an os.WriteFile inside an app workload
+// package in a temp module: interceptcheck must report it as bypassing the
+// intercepted event alphabet (the ISSUE's acceptance criterion).
+func TestPlantedEffectIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "go.mod"), "module failtrans\n\ngo 1.22\n")
+	write(t, filepath.Join(dir, "internal", "apps", "scratchapp", "app.go"), `package scratchapp
+
+import "os"
+
+func Step() error { return os.WriteFile("out", nil, 0o644) }
+`)
+	res, err := ftlint.Run(dir, nil)
+	if err != nil {
+		t.Fatalf("ftlint.Run: %v", err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the planted one: %v", len(res.Diags), res.Diags)
+	}
+	if d := res.Diags[0]; d.Analyzer != "interceptcheck" || !strings.Contains(d.Message, "os.WriteFile") {
+		t.Errorf("wrong diagnostic for the plant: %s: %s", d.Analyzer, d.Message)
+	}
+}
+
+// TestSerialAndParallelLoadersAgree runs the suite over the whole module
+// with the serial loader and the parallel one: identical diagnostics (both
+// empty on a clean tree, and the same package set loaded) prove the
+// scheduler changes nothing observable.
+func TestSerialAndParallelLoadersAgree(t *testing.T) {
+	serial, err := ftlint.RunParallel(".", nil, 1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	par, err := ftlint.RunParallel(".", nil, 0)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if len(serial.Diags) != len(par.Diags) {
+		t.Fatalf("serial found %d diagnostics, parallel %d", len(serial.Diags), len(par.Diags))
+	}
+	if len(serial.Pkgs) != len(par.Pkgs) {
+		t.Fatalf("serial loaded %d packages, parallel %d", len(serial.Pkgs), len(par.Pkgs))
+	}
+	for i := range serial.Pkgs {
+		if serial.Pkgs[i].Path != par.Pkgs[i].Path {
+			t.Fatalf("package order diverges at %d: serial %s, parallel %s",
+				i, serial.Pkgs[i].Path, par.Pkgs[i].Path)
+		}
+	}
+}
+
+// TestCowAnnotationsPresent pins the //failtrans:cowshared annotations the
+// repo relies on: deleting one would silently shrink cowcheck's coverage.
+func TestCowAnnotationsPresent(t *testing.T) {
+	files := map[string]int{ // file -> minimum number of cowshared annotations
+		"../../vista/vista.go":   3, // mem, pageHash, hashValid
+		"../../kernel/kernel.go": 2, // node.fs, Kernel.nodes
+		"../../dc/dc.go":         2, // msgDeps, ndLog
+		"../../apps/nvi/nvi.go":  4, // Lines, LineSums, UndoLines, UndoSums
+	}
+	for file, min := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("read %s: %v", file, err)
+			continue
+		}
+		if got := strings.Count(string(data), "//failtrans:cowshared"); got < min {
+			t.Errorf("%s: %d //failtrans:cowshared annotations, want at least %d", file, got, min)
+		}
+	}
+}
+
 // TestHotpathRootsAnnotated pins the hot-path annotations the repo relies
 // on: deleting one would silently shrink hotpathcheck's coverage to
 // nothing, so their presence is asserted here.

@@ -82,6 +82,16 @@ func run(pass *analysis.Pass) error {
 func collect(pass *analysis.Pass, fd *ast.FuncDecl, s *summary) {
 	info := pass.Pkg.Info
 	sanctioned := sanctionedAppends(info, fd.Body)
+	// callFuns records every expression in call position, so a selector
+	// used as a value — x.Method without the call — is told apart from
+	// x.Method(...): the former binds its receiver into a heap closure.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(c.Fun)] = true
+		}
+		return true
+	})
 	add := func(pos token.Pos, format string, args ...any) {
 		s.findings = append(s.findings, finding{pos: pos, msg: fmt.Sprintf(format, args...)})
 	}
@@ -89,6 +99,11 @@ func collect(pass *analysis.Pass, fd *ast.FuncDecl, s *summary) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, info, n, s, sanctioned, add)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFuns[n] {
+				add(n.Pos(), "method value %s binds its receiver into a heap-allocated closure (use a method expression or a func literal on the stack)",
+					n.Sel.Name)
+			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {

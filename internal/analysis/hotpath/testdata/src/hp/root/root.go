@@ -44,6 +44,26 @@ func (t *T) Grow(data []byte) []byte {
 	return append(t.buf, data...)
 }
 
+// Bind exercises the method-value blind spot: returning x.Method as a
+// func value binds x into a heap-allocated closure.
+//
+//failtrans:hotpath
+func (t *T) Bind() func(int) error {
+	return t.Commit // want `method value Commit binds its receiver into a heap-allocated closure`
+}
+
+// Indirect contrasts the three shapes: a method expression is a static
+// func value (silent), a direct call is a call (silent), a bound method
+// value allocates.
+//
+//failtrans:hotpath
+func (t *T) Indirect() error {
+	direct := (*T).Commit // method expression: no receiver bound — silent
+	_ = direct
+	h := t.Commit // want `method value Commit binds its receiver into a heap-allocated closure`
+	return h(1)
+}
+
 // NotHot allocates freely: it is neither annotated nor reachable from an
 // annotated root.
 func NotHot() []byte {

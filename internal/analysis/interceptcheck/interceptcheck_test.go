@@ -1,0 +1,23 @@
+package interceptcheck_test
+
+import (
+	"testing"
+
+	"failtrans/internal/analysis/analysistest"
+	"failtrans/internal/analysis/interceptcheck"
+)
+
+// TestInterceptcheck runs the pass over its four-package fixture: direct
+// effects in workload code (file write, wall clock, real stdout/stderr,
+// direct stable-store use), propagation into a helper package with root
+// attribution, the boundary-package and //failtrans:intercepted
+// sanctioning, the uninterceptible escape hatch at both the effect and
+// the call edge, and that effects with no workload path stay silent.
+func TestInterceptcheck(t *testing.T) {
+	a := interceptcheck.New(interceptcheck.Config{
+		Core:        []string{"icept/app"},
+		Boundary:    []string{"icept/alphabet"},
+		StableStore: []string{"icept/store"},
+	})
+	analysistest.Run(t, "testdata/src", a, "icept/app", "icept/util", "icept/alphabet", "icept/store")
+}

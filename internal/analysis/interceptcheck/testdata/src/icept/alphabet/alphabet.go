@@ -1,0 +1,10 @@
+// Package alphabet implements the intercepted event alphabet: the real
+// effects below it are the recovery layer's own, and sanctioned.
+package alphabet
+
+import "os"
+
+// Send journals and emits a payload — the interception boundary.
+func Send(data []byte) error {
+	return os.WriteFile("wire.dat", data, 0o644)
+}

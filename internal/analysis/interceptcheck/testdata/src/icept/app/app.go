@@ -1,0 +1,82 @@
+// Package app is interceptcheck's workload fixture: the recoverable core
+// whose every externally-visible effect must flow through the alphabet.
+package app
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"icept/alphabet"
+	"icept/store"
+	"icept/util"
+)
+
+// Step plants the acceptance-criteria bug: a direct file write in
+// workload code.
+func Step(data []byte) error {
+	return os.WriteFile("out.dat", data, 0o644) // want `os\.WriteFile bypasses the intercepted event alphabet \(in workload function icept/app\.Step\)`
+}
+
+// Clock reads the real clock, so its output cannot be replayed.
+func Clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now \(wall clock\) bypasses`
+}
+
+// Render writes the real stdout instead of the simulated output event.
+func Render(msg string) {
+	fmt.Println(msg) // want `fmt\.Println \(writes the real stdout\) bypasses`
+}
+
+// RenderErr writes the real stderr through an explicit stream handle;
+// writing a bytes.Buffer with the same verb is pure and stays silent.
+func RenderErr(msg string) {
+	fmt.Fprintln(os.Stderr, msg) // want `fmt\.Fprintln to os\.Stdout/os\.Stderr bypasses`
+}
+
+// ViaUtil shows propagation: the effect lives in a helper package, the
+// finding names this root.
+func ViaUtil() error {
+	return util.Leak()
+}
+
+// ViaAlphabet routes the same payload through the interception boundary —
+// the sanctioned shape.
+func ViaAlphabet(data []byte) {
+	alphabet.Send(data)
+}
+
+// Direct bypasses dc and hits stable storage itself.
+func Direct(s *store.Log) error {
+	return s.Append(nil) // want `direct stable-store call store\.Append bypasses`
+}
+
+// Escape demonstrates the mandatory-reason escape hatch on the effect
+// itself.
+func Escape() {
+	os.Remove("scratch") //failtrans:uninterceptible fixture: host-side artifact outside the recoverable state
+}
+
+// EscapeCall cuts propagation at the call: the suppressed line sanctions
+// util.Audited's entire subtree.
+func EscapeCall() error {
+	return util.Audited() //failtrans:uninterceptible fixture: audited by hand, no replay-visible effect
+}
+
+// Boundary is alphabet implementation living inside the core tree; the
+// annotation sanctions its direct effect and stops traversal into it.
+//
+//failtrans:intercepted
+func Boundary() error {
+	f, err := os.Create("journal")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// UsesBoundary reaches a real effect only through Boundary, which is
+// below the alphabet — silent.
+func UsesBoundary() error {
+	return Boundary()
+}

@@ -1,0 +1,10 @@
+// Package store stands in for the stable-storage API: direct use from
+// workload code is an effect even though this fixture stub touches
+// nothing real.
+package store
+
+// Log is a stable-storage handle.
+type Log struct{}
+
+// Append persists a record.
+func (l *Log) Append(b []byte) error { return nil }

@@ -1,0 +1,24 @@
+// Package util is a helper outside both the core and the boundary: its
+// effects only matter when workload code reaches them.
+package util
+
+import "net"
+
+// Leak is reached from app.ViaUtil, so its socket open is a finding
+// attributed to that root.
+func Leak() error {
+	_, err := net.Dial("tcp", "localhost:1") // want `net\.Dial bypasses the intercepted event alphabet \(reachable from workload function icept/app\.ViaUtil\)`
+	return err
+}
+
+// Audited is reached only through a //failtrans:uninterceptible call
+// line, which cuts the edge — silent.
+func Audited() error {
+	_, err := net.Dial("tcp", "localhost:2")
+	return err
+}
+
+// Unreached has the same effect but no workload path to it — silent.
+func Unreached() {
+	net.Dial("tcp", "localhost:3")
+}

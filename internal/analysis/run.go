@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
+	"io"
 	"sort"
 )
 
@@ -94,4 +96,47 @@ func Run(cfg Config, analyzers []*Analyzer) (*Result, error) {
 // FormatDiag renders one finding the way cmd/ftlint prints it.
 func FormatDiag(fset *token.FileSet, d Diagnostic) string {
 	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// Finding is the machine-readable shape of one diagnostic, used by
+// ftlint -json so CI can archive findings as an artifact.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Findings converts the result's diagnostics to their JSON shape,
+// preserving the position-sorted order.
+func (r *Result) Findings() []Finding {
+	out := make([]Finding, len(r.Diags))
+	for i, d := range r.Diags {
+		p := r.Fset.Position(d.Pos)
+		out[i] = Finding{
+			File:     p.Filename,
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the findings as one indented JSON document:
+// {"count": N, "findings": [...]}. The findings array is always present
+// (empty, not null, on a clean run) so downstream jq stays simple.
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Count    int       `json:"count"`
+		Findings []Finding `json:"findings"`
+	}{Count: len(r.Diags), Findings: r.Findings()}
+	if doc.Findings == nil {
+		doc.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -34,6 +34,12 @@ func TestDirectiveHandling(t *testing.T) {
 		{"directive", 36, `unknown failtrans directive tag "nodet"`},
 		{"detlint", 23, "time.Now"},
 		{"detlint", 38, "time.Now"},
+		// A trailing directive on one element line of a multi-line
+		// composite literal does not bleed to the next element.
+		{"detlint", 48, "time.Now"},
+		// A standalone directive above a label covers the label's own
+		// line, not the labeled statement under it.
+		{"detlint", 61, "time.Now"},
 	}
 	for _, w := range want {
 		found := false

@@ -37,3 +37,33 @@ func Reasonless() time.Time {
 func Typo() time.Time {
 	return time.Now()
 }
+
+// Composite spreads findings across a multi-line composite literal: a
+// trailing directive on an interior element line covers exactly that
+// line, not the whole literal, so the second element (line 48) is still
+// reported.
+func Composite() []time.Time {
+	return []time.Time{
+		time.Now(), //failtrans:nondet fixture: trailing on one composite-literal element line
+		time.Now(),
+	}
+}
+
+// Labeled pins the label sharp edge: a standalone directive above a label
+// covers the label's own (finding-free) line and does NOT travel through
+// to the labeled statement, so the time.Now on line 61 is still reported.
+// A standalone directive between the label and a later statement covers
+// the line below it as usual (line 66 is silenced).
+func Labeled() time.Time {
+	var t time.Time
+	//failtrans:nondet fixture: covers only the label line below, not the labeled statement
+retry:
+	t = time.Now()
+	if t.IsZero() {
+		goto retry
+	}
+	//failtrans:nondet fixture: standalone below the label covers the next line as usual
+	u := time.Now()
+	_ = t
+	return u
+}

@@ -44,6 +44,10 @@ const DefaultCheckEvery = 50
 
 // Editor is the nvi application state.
 type Editor struct {
+	// A fork of a frozen template aliases the template's line buffers
+	// (headers and bytes) until privatizeLines or snapshotUndo unshares
+	// them; mutating commands must privatize before touching a line.
+	//failtrans:cowshared privatizeLines,snapshotUndo
 	Lines [][]byte
 	Row   int
 	Col   int
@@ -57,8 +61,10 @@ type Editor struct {
 	// command; 'u' swaps it with the current buffer (so a second 'u'
 	// redoes).
 	UndoValid bool
+	//failtrans:cowshared snapshotUndo
 	UndoLines [][]byte
-	UndoSums  []uint32
+	//failtrans:cowshared snapshotUndo
+	UndoSums []uint32
 	UndoRow   int
 	UndoCol   int
 	Filename  string
@@ -70,6 +76,7 @@ type Editor struct {
 	// LineSums holds a maintained checksum per buffer line, updated only
 	// by legitimate edits of that line; heap corruption diverges from
 	// its line's sum until a consistency check notices.
+	//failtrans:cowshared privatizeLines,snapshotUndo
 	LineSums []uint32
 
 	Phase     int
@@ -137,7 +144,10 @@ func New(filename string, contents []string) *Editor {
 	return e
 }
 
-func (e *Editor) setLineSum(i int) { e.LineSums[i] = apputil.Checksum(e.Lines[i]) }
+func (e *Editor) setLineSum(i int) {
+	//failtrans:cowok every caller privatizes first (or runs in New on a fresh editor) — checksum maintenance always follows the edit that already unshared the buffer
+	e.LineSums[i] = apputil.Checksum(e.Lines[i])
+}
 
 // Freeze implements sim.Freezer: it seals the editor as an immutable fork
 // template. A frozen editor must never be stepped again; its buffers are
@@ -482,6 +492,10 @@ func (e *Editor) insertChar(ctx *sim.Ctx, key byte) {
 
 // deleteChar implements 'x'.
 func (e *Editor) deleteChar(ctx *sim.Ctx) {
+	// The dispatcher snapshots undo before 'x', but privatize defensively:
+	// the splice below shifts line bytes in place, which must never land
+	// in a frozen template's arena. No-op when the buffer is already ours.
+	e.privatizeLines()
 	line := e.Lines[e.Row]
 	if len(line) == 0 {
 		return
@@ -501,6 +515,9 @@ func (e *Editor) deleteChar(ctx *sim.Ctx) {
 
 // deleteLine implements 'dd'.
 func (e *Editor) deleteLine(ctx *sim.Ctx) {
+	// Same defensive unshare as deleteChar: the header splice shifts
+	// entries of Lines/LineSums in place.
+	e.privatizeLines()
 	kind := ctx.Fault("nvi.deleteline")
 	e.Lines = append(e.Lines[:e.Row], e.Lines[e.Row+1:]...)
 	e.LineSums = append(e.LineSums[:e.Row], e.LineSums[e.Row+1:]...)

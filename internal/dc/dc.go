@@ -93,7 +93,8 @@ type DC struct {
 	// then-uncommitted non-determinism; stale entries (q committed
 	// since) are pruned at coordination time.
 	deps    []map[int]int
-	epoch   []int
+	epoch []int
+	//failtrans:cowshared mutableMsgDeps
 	msgDeps map[int64]map[int]int
 	// msgDepsShared marks msgDeps as borrowed from a frozen template; the
 	// first write copies it (the inner snapshots are write-once and stay
@@ -101,6 +102,11 @@ type DC struct {
 	msgDepsShared bool
 	frozen        bool
 
+	// ndLog's outer array is remade per fork (fork clones the headers),
+	// but each inner per-process log aliases the frozen template's
+	// records behind a capacity clamp; there is no privatizer — every
+	// store must justify why it cannot write the template's backing.
+	//failtrans:cowshared none
 	ndLog     [][]logRec
 	watermark []int
 	replaying []bool
@@ -660,6 +666,7 @@ func (d *DC) divergeLog(p *sim.Proc) {
 			d.World.RequeueLogged(p, rec.val)
 		}
 	}
+	//failtrans:cowok writes only the fork-private outer array; the capacity clamp keeps later appends from reaching the template's shared records
 	d.ndLog[i] = d.ndLog[i][:d.cursor[i]:d.cursor[i]]
 	d.replaying[i] = false
 	d.endReplayWindow(p)
@@ -707,6 +714,7 @@ func (d *DC) RecordND(p *sim.Proc, label string, val []byte) bool {
 		return false
 	}
 	i := p.Index
+	//failtrans:cowok the inner log was capacity-clamped at fork (and by every truncation), so append reallocates rather than writing template backing; the outer array is fork-private
 	d.ndLog[i] = append(d.ndLog[i], logRec{
 		label: label,
 		val:   append([]byte(nil), val...),
@@ -767,6 +775,7 @@ func (d *DC) Rollback(p *sim.Proc) error {
 	// the retention buffer). Capacity is clamped for the same reason as
 	// divergeLog: a COW fork's log may share backing with its template.
 	if d.flushed[i] < len(d.ndLog[i]) {
+		//failtrans:cowok writes only the fork-private outer array; the capacity clamp keeps later appends from reaching the template's shared records
 		d.ndLog[i] = d.ndLog[i][:d.flushed[i]:d.flushed[i]]
 	}
 	if d.Policy.LogsLabel("recv") && !d.Policy.LogAsync {

@@ -51,8 +51,13 @@ type kernelFault struct {
 }
 
 type node struct {
-	fs     map[string][]byte
-	fds    map[int]*fdEntry
+	// fs's byte-slice values may alias a frozen base node's contents
+	// (file() hands them out uncopied); setFile requires owned data and
+	// ownFile privatizes a base file before mutation, so every insert
+	// goes through one of the two.
+	//failtrans:cowshared setFile,ownFile
+	fs  map[string][]byte
+	fds map[int]*fdEntry
 	nextFD int
 	// fdLimit is the node's open-file limit; ExpandResources raises it,
 	// turning the paper's fixed non-determinism of open into transient
@@ -177,6 +182,11 @@ type Kernel struct {
 	CowFiles int
 	CowBytes int64
 
+	// nodes's *node values are cloned out of the frozen base chain by
+	// node() before any mutation; a COW fork starts with a nil map and
+	// node() also materializes it, so inserts outside node() would hand
+	// a fork a template-owned node.
+	//failtrans:cowshared node
 	nodes  map[int]*node
 	frozen bool
 	// base, when non-nil, is the frozen template kernel this one was COW-

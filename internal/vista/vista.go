@@ -76,7 +76,12 @@ type Segment struct {
 	// boundary beyond size, and a COW fork's mem is nil (its contents live
 	// in overlay and base).
 	size int
-	mem  []byte
+	// A frozen template's mem is read by every COW fork through base, so
+	// writes must first prove the segment private: mustMutable panics on
+	// a frozen template, and touchPage privatizes a fork's page into
+	// overlay before the write lands.
+	//failtrans:cowshared mustMutable,touchPage
+	mem []byte
 	undo []undoRec
 	dirty    pageBitset
 	nDirty   int
@@ -104,7 +109,9 @@ type Segment struct {
 	// A COW fork inherits the template's cache (valid entries carry over
 	// because fork shares the template's bytes), so its first commit
 	// skips clean pages without ever reading them.
-	pageHash  []uint64
+	//failtrans:cowshared privatizeHash
+	pageHash []uint64
+	//failtrans:cowshared privatizeHash
 	hashValid pageBitset
 	// hashShared marks pageHash/hashValid as clamped views of the frozen
 	// template's arrays: valid to read (the shared bytes cannot change),
@@ -179,9 +186,11 @@ func (s *Segment) sizeTracking() {
 		s.dirty = append(s.dirty, 0)
 	}
 	for len(s.hashValid) < words {
+		//failtrans:cowok a fork's view is capacity-clamped at cowFork, so append always reallocates instead of writing the frozen template's array
 		s.hashValid = append(s.hashValid, 0)
 	}
 	for len(s.pageHash) < np {
+		//failtrans:cowok a fork's view is capacity-clamped at cowFork, so append always reallocates instead of writing the frozen template's array
 		s.pageHash = append(s.pageHash, 0)
 	}
 }
@@ -652,6 +661,7 @@ func (s *Segment) Freeze() {
 		s.overlay = nil
 	}
 	if padded := s.pages() * s.pageSize; len(s.mem) < padded {
+		//failtrans:cowok the frozen early-return above is the mustMutable check inlined: only an unfrozen segment reaches here, and an unfrozen segment's mem is private (a fork's is nil until materialized flat just above)
 		s.mem = append(s.mem, make([]byte, padded-len(s.mem))...)
 	}
 	s.frozen = true
