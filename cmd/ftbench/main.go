@@ -32,8 +32,20 @@
 //
 // Usage:
 //
-//	ftbench -experiment all|fig8|table1|table2|space|veto [-app nvi] [-scale 1] [-crashes 50]
+// -experiment fleet runs the scheduler scalability sweep: the fleet echo
+// workload at -fleet-sizes processes (default 100,1000,10000) under the
+// unrecoverable baseline with both schedulers plus every measured protocol
+// under the indexed one, printing ns-per-scheduling-decision curves and the
+// indexed-vs-scan speedup (see internal/bench/fleet.go). -sched selects the
+// World scheduler for every other experiment: "indexed" (default) or the
+// legacy O(procs) "scan"; results are byte-identical either way, which CI
+// enforces by diffing the two.
+//
+// Usage:
+//
+//	ftbench -experiment all|fig8|table1|table2|space|veto|fleet [-app nvi] [-scale 1] [-crashes 50]
 //	ftbench -bench [-json BENCH.json] [-scale 1]
+//	ftbench ... [-sched indexed|scan] [-fleet-sizes 100,1000,10000]
 //	ftbench ... [-parallel N] [-json out.json] [-ledger campaign.ftl] [-veto policy.ftv]
 //	ftbench ... [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
@@ -46,16 +58,19 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"failtrans/internal/bench"
 	"failtrans/internal/obs"
 	"failtrans/internal/obs/ledger"
+	"failtrans/internal/sim"
 	"failtrans/internal/statemachine"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig8 | table1 | table2 | space | veto | all")
+	experiment := flag.String("experiment", "all", "fig8 | table1 | table2 | space | veto | fleet | all")
 	app := flag.String("app", "", "restrict fig8 to one app (nvi, magic, xpilot, treadmarks) or veto to one app (nvi, postgres)")
 	scale := flag.Int("scale", 1, "workload scale factor for fig8 (1 = quick, 10 ≈ paper-length sessions)")
 	crashes := flag.Int("crashes", 50, "crashes to collect per fault type in table1/table2 (paper: 50)")
@@ -68,7 +83,19 @@ func main() {
 	vetoPath := flag.String("veto", "", "arm table1/table2 studies with mined commit-veto policies from this .ftv file (see ftreport -veto)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	sched := flag.String("sched", "indexed", "World scheduler: indexed (readiness heap) or scan (legacy O(procs); differential oracle)")
+	fleetSizes := flag.String("fleet-sizes", "", "comma-separated fleet sizes for -experiment fleet (default 100,1000,10000)")
 	flag.Parse()
+
+	switch *sched {
+	case "indexed":
+		sim.DefaultScanSched = false
+	case "scan":
+		sim.DefaultScanSched = true
+	default:
+		fmt.Fprintf(os.Stderr, "ftbench: -sched must be indexed or scan, got %q\n", *sched)
+		os.Exit(2)
+	}
 
 	// Validate -ledger up front: it records experiment runs, so it has
 	// nothing to write under -bench, and a bad path should fail before an
@@ -269,6 +296,31 @@ func main() {
 			})
 		}
 		report["veto"] = outs
+	}
+	// "fleet" is not part of "all": it is a scalability benchmark, not one
+	// of the paper's experiments, and its 10⁴-proc cells dominate wall time.
+	if *experiment == "fleet" {
+		sizes := []int{100, 1_000, 10_000}
+		if *fleetSizes != "" {
+			sizes = sizes[:0]
+			for _, tok := range strings.Split(*fleetSizes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil || n < 2 {
+					fmt.Fprintf(os.Stderr, "ftbench: -fleet-sizes: bad size %q\n", tok)
+					os.Exit(2)
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		run("fleet", func() error {
+			res, err := bench.FleetCurves(sizes)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			report["fleet"] = res
+			return nil
+		})
 	}
 	if want("space") {
 		run("space", func() error {

@@ -109,10 +109,19 @@ func main() {
 	snapCheck := flag.Bool("snapshots", false, "fork self-check: fork the run mid-stream and verify the fork finishes byte-identically")
 	ledgerPath := flag.String("ledger", "", "append one forensic record per run to this campaign-ledger file (for ftreport)")
 	vetoPath := flag.String("veto", "", "arm the DC with a mined commit-veto policy from this .ftv file (key ftsim/<app>/<protocol>)")
+	schedName := flag.String("sched", "indexed", "World scheduler: indexed (readiness heap) or scan (legacy O(procs); runs are byte-identical either way)")
 	var stops stopList
 	flag.Var(&stops, "stop", "inject a stop failure as proc:step (repeatable)")
 	flag.Parse()
 
+	switch *schedName {
+	case "indexed":
+		sim.DefaultScanSched = false
+	case "scan":
+		sim.DefaultScanSched = true
+	default:
+		fail(fmt.Errorf("-sched must be indexed or scan, got %q", *schedName))
+	}
 	if err := validateChoices(*app, *polName, *mediumName); err != nil {
 		fail(err)
 	}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"failtrans/internal/apps/fleet"
+	"failtrans/internal/dc"
+	"failtrans/internal/protocol"
+	"failtrans/internal/sim"
+	"failtrans/internal/stablestore"
+)
+
+// This file is the fleet-scale scalability driver: protocol overhead vs
+// fleet size at 10²–10⁵ processes, plus the scan-vs-indexed scheduler
+// comparison the O(active) refactor is judged by (BENCH.json `fleet` rows;
+// CI gates the n=10⁴ step-throughput ratio).
+
+// FleetScanMax caps the fleet sizes the legacy scan scheduler is measured
+// at: the scan is O(procs) per step, so a 10⁵-proc run would cost ~10¹⁰
+// proc-visits — the very behavior the index removes. The indexed points
+// above the cap stand alone.
+const FleetScanMax = 10_000
+
+// FleetProtocolMax caps the sizes the seven recoverable protocols are
+// measured at. Discount Checking's per-process bookkeeping (vista segments,
+// logs) makes 10⁵-proc recoverable runs minutes-long; the baseline curve
+// still extends to 10⁵ to show scheduler scaling alone.
+const FleetProtocolMax = 10_000
+
+// FleetPoint is one (size, protocol, scheduler) fleet measurement.
+type FleetPoint struct {
+	Procs    int    `json:"procs"`
+	Protocol string `json:"protocol"` // "NONE" = unrecoverable baseline
+	Sched    string `json:"sched"`    // "indexed" | "scan"
+
+	Steps  int   `json:"steps"`
+	WallNs int64 `json:"wall_ns"`
+	// StepNs is wall nanoseconds per scheduling decision — the number the
+	// O(active) claim is measured by.
+	StepNs float64 `json:"step_ns"`
+	// VirtualUs is the run's virtual duration; protocol overhead at one
+	// size is VirtualUs vs the NONE point's.
+	VirtualUs    int64 `json:"virtual_us"`
+	Checkpoints  int   `json:"checkpoints,omitempty"`
+	SchedUpdates int64 `json:"sched_updates,omitempty"`
+}
+
+// FleetResult is the full sweep.
+type FleetResult struct {
+	Sizes  []int        `json:"sizes"`
+	Points []FleetPoint `json:"points"`
+	// SpeedupAt is the indexed-vs-scan step-throughput ratio per size for
+	// the NONE baseline (sizes above FleetScanMax are absent).
+	SpeedupAt map[string]float64 `json:"speedup_at"`
+}
+
+// runFleetOnce runs one fleet cell and measures it.
+func runFleetOnce(n int, pol *protocol.Policy, scan bool) (FleetPoint, error) {
+	cfg := fleet.Sized(n)
+	w := sim.NewWorld(23, fleet.Fleet(cfg)...)
+	w.ScanSched = scan
+	w.RecordTrace = false
+	w.MaxSteps = 100_000_000
+	m, _ := w.EnableObs(false)
+	name := "NONE"
+	var d *dc.DC
+	if pol != nil {
+		name = pol.Name
+		d = dc.New(w, *pol, stablestore.Rio)
+		if err := d.Attach(); err != nil {
+			return FleetPoint{}, err
+		}
+	}
+	sched := "indexed"
+	if scan {
+		sched = "scan"
+	}
+	start := time.Now()
+	if err := w.Run(); err != nil {
+		return FleetPoint{}, err
+	}
+	wall := time.Since(start)
+	if !w.AllDone() {
+		return FleetPoint{}, fmt.Errorf("bench: fleet n=%d %s/%s did not finish (%d/%d done)",
+			n, name, sched, w.DoneCount(), len(w.Procs))
+	}
+	pt := FleetPoint{
+		Procs:        len(w.Procs),
+		Protocol:     name,
+		Sched:        sched,
+		Steps:        w.StepCount(),
+		WallNs:       wall.Nanoseconds(),
+		VirtualUs:    int64(w.Clock / time.Microsecond),
+		SchedUpdates: m.SchedUpdates,
+	}
+	if pt.Steps > 0 {
+		pt.StepNs = float64(pt.WallNs) / float64(pt.Steps)
+	}
+	if d != nil {
+		pt.Checkpoints = d.Stats.TotalCheckpoints()
+	}
+	return pt, nil
+}
+
+// FleetCurves measures the overhead-vs-fleet-size sweep: for every size the
+// unrecoverable baseline under both schedulers (scan capped at
+// FleetScanMax), and every measured protocol under the indexed scheduler
+// (capped at FleetProtocolMax).
+func FleetCurves(sizes []int) (*FleetResult, error) {
+	res := &FleetResult{Sizes: sizes, SpeedupAt: map[string]float64{}}
+	for _, n := range sizes {
+		base, err := runFleetOnce(n, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, base)
+		if n <= FleetScanMax {
+			scanPt, err := runFleetOnce(n, nil, true)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, scanPt)
+			if base.StepNs > 0 {
+				res.SpeedupAt[fmt.Sprint(n)] = scanPt.StepNs / base.StepNs
+			}
+		}
+		if n > FleetProtocolMax {
+			continue
+		}
+		for _, pol := range protocol.Measured() {
+			pol := pol
+			pt, err := runFleetOnce(n, &pol, false)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// FleetSizesForScale picks the default sweep sizes: the full 10²–10⁵ curve
+// at every scale. The expensive cells are capped by size, not by scale —
+// the scan and the protocols stop at 10⁴, so the 10⁵ point costs only one
+// indexed baseline run (~2s) and fits the CI budget.
+func FleetSizesForScale(scale int) []int {
+	return []int{100, 1_000, 10_000, 100_000}
+}
+
+// Print renders the sweep.
+func (r *FleetResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fleet scalability (sizes %v):\n", r.Sizes)
+	fmt.Fprintf(w, "%8s %-12s %-8s %10s %12s %10s %12s %8s\n",
+		"procs", "protocol", "sched", "steps", "wall", "ns/step", "virtual", "ckpts")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %-12s %-8s %10d %12s %10.0f %12s %8d\n",
+			p.Procs, p.Protocol, p.Sched, p.Steps,
+			time.Duration(p.WallNs).Round(time.Millisecond),
+			p.StepNs, time.Duration(p.VirtualUs)*time.Microsecond, p.Checkpoints)
+	}
+	for _, n := range r.Sizes {
+		if x, ok := r.SpeedupAt[fmt.Sprint(n)]; ok {
+			fmt.Fprintf(w, "indexed vs scan at n=%d: %.1fx step throughput\n", n, x)
+		}
+	}
+}
+
+// sleeper is the SchedUpdate microbenchmark's program: every step does one
+// Sleep and nothing else, so a world of sleepers measures pure scheduler
+// cost — one pick, one reindex, no events, no allocation.
+type sleeper struct{ d time.Duration }
+
+func (s *sleeper) Name() string                  { return "sleeper" }
+func (s *sleeper) Init(ctx *sim.Ctx) error       { return nil }
+func (s *sleeper) MarshalState() ([]byte, error) { return nil, nil }
+func (s *sleeper) UnmarshalState([]byte) error   { return nil }
+func (s *sleeper) Step(ctx *sim.Ctx) sim.Status {
+	ctx.Sleep(s.d)
+	return sim.Sleeping
+}
+
+// benchSchedUpdate measures one scheduling decision on a 10⁴-process world
+// where every process is a sleeper: each Step is a heap peek plus exactly
+// one reindex of the stepped process (steady state: zero allocations).
+func benchSchedUpdate(b *testing.B) {
+	const n = 10_000
+	progs := make([]sim.Program, n)
+	for i := range progs {
+		progs[i] = &sleeper{d: time.Duration(1+i%7) * time.Millisecond}
+	}
+	w := sim.NewWorld(3, progs...)
+	w.RecordTrace = false
+	if err := w.Init(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFleetStep measures end-to-end scheduling-decision cost on the real
+// 10⁴-proc fleet baseline, rebuilding the world off-clock whenever a run
+// drains.
+func benchFleetStep(b *testing.B) {
+	cfg := fleet.Sized(10_000)
+	build := func() *sim.World {
+		w := sim.NewWorld(23, fleet.Fleet(cfg)...)
+		w.RecordTrace = false
+		if err := w.Init(); err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+	b.StopTimer()
+	w := build()
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		more, err := w.Step()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !more {
+			b.StopTimer()
+			w = build()
+			b.StartTimer()
+		}
+	}
+}

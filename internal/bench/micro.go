@@ -94,6 +94,9 @@ type BenchReport struct {
 	// copy-on-write templates served through the snapshot store.
 	CampaignCOW CampaignCOWResult `json:"campaign_cow"`
 	Fig8        []Fig8Summary     `json:"fig8"`
+	// Fleet is the scheduler/protocol scalability sweep (see fleet.go);
+	// its NONE rows carry the fleet_step_ns CI regression gates.
+	Fleet *FleetResult `json:"fleet,omitempty"`
 }
 
 // runMicro executes one benchmark body under the testing harness.
@@ -184,6 +187,8 @@ func RunBench(scale, workers int) (*BenchReport, error) {
 		runMicro("VistaCommit", benchVistaCommit),
 		runMicro("DCCommit", benchDCCommit),
 		runMicro("DCRollback", benchDCRollback),
+		runMicro("SchedUpdate", benchSchedUpdate),
+		runMicro("FleetStep", benchFleetStep),
 	}
 	cs, err := benchCampaignSnapshot(scale)
 	if err != nil {
@@ -195,6 +200,11 @@ func RunBench(scale, workers int) (*BenchReport, error) {
 		return nil, err
 	}
 	rep.CampaignCOW = cc
+	fl, err := FleetCurves(FleetSizesForScale(scale))
+	if err != nil {
+		return nil, err
+	}
+	rep.Fleet = fl
 	for _, app := range Fig8Apps {
 		res, err := Fig8(app, scale, workers, nil)
 		if err != nil {

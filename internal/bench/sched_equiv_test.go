@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"failtrans/internal/sim"
+)
+
+// These tests are the cross-layer half of the scheduler-equivalence
+// guarantee (the sim package pins the per-world edge cases): full seeded
+// studies — fault campaigns and the Figure 8 sweep — must serialize to
+// byte-identical JSON whichever scheduler built their worlds. CI runs the
+// same check end-to-end through the ftbench binary.
+
+// withScan runs fn with the package-default scheduler forced to the legacy
+// scan, restoring the default afterwards.
+func withScan(fn func()) {
+	prev := sim.DefaultScanSched
+	sim.DefaultScanSched = true
+	defer func() { sim.DefaultScanSched = prev }()
+	fn()
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+func TestTable1ScanIndexedIdentical(t *testing.T) {
+	indexed, err := Table1(2, 2, true, true, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *Table1Result
+	withScan(func() { scan, err = Table1(2, 2, true, true, nil, nil, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, indexed), mustJSON(t, scan); got != want {
+		t.Errorf("table1 JSON diverged between schedulers:\nindexed: %s\nscan:    %s", got, want)
+	}
+}
+
+func TestFig8ScanIndexedIdentical(t *testing.T) {
+	indexed, err := Fig8("nvi", 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *Fig8Result
+	withScan(func() { scan, err = Fig8("nvi", 1, 2, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, indexed), mustJSON(t, scan); got != want {
+		t.Errorf("fig8 JSON diverged between schedulers:\nindexed: %s\nscan:    %s", got, want)
+	}
+}
+
+// TestFleetCurvesShape runs the sweep at its smallest size and checks the
+// result carries what BENCH.json's regression gates key on: both scheduler
+// rows for the baseline, one row per measured protocol, and the speedup
+// ratio.
+func TestFleetCurvesShape(t *testing.T) {
+	res, err := FleetCurves([]int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scanRows, indexedNone, protoRows int
+	for _, p := range res.Points {
+		switch {
+		case p.Sched == "scan":
+			scanRows++
+		case p.Protocol == "NONE":
+			indexedNone++
+		default:
+			protoRows++
+		}
+		if p.Steps == 0 || p.StepNs <= 0 {
+			t.Errorf("point %+v has empty measurements", p)
+		}
+	}
+	if scanRows != 1 || indexedNone != 1 {
+		t.Errorf("baseline rows: scan=%d indexed=%d, want 1 and 1", scanRows, indexedNone)
+	}
+	if protoRows != 7 {
+		t.Errorf("protocol rows = %d, want 7 (the measured protocol set)", protoRows)
+	}
+	if _, ok := res.SpeedupAt["100"]; !ok {
+		t.Error("missing indexed-vs-scan speedup at n=100")
+	}
+}

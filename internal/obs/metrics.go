@@ -191,6 +191,12 @@ type Metrics struct {
 	Steps          int64
 	TwoPhaseRounds int64
 
+	// SchedUpdates counts readiness-index reindex operations (push, move,
+	// remove) and SchedRebuilds counts full heap rebuilds (first decision
+	// after construction, Init, or Fork). Zero under the scan scheduler.
+	SchedUpdates  int64
+	SchedRebuilds int64
+
 	// FaultWindows / FaultCorruptions / KernelPanics account the kernel
 	// fault-injection study.
 	FaultWindows     int64
@@ -272,6 +278,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	}
 	m.Steps += o.Steps
 	m.TwoPhaseRounds += o.TwoPhaseRounds
+	m.SchedUpdates += o.SchedUpdates
+	m.SchedRebuilds += o.SchedRebuilds
 	m.FaultWindows += o.FaultWindows
 	m.FaultCorruptions += o.FaultCorruptions
 	m.KernelPanics += o.KernelPanics
@@ -304,6 +312,8 @@ func (m *Metrics) WriteSnapshot(w io.Writer) error {
 	fmt.Fprintf(w, "# failtrans metrics snapshot (procs=%d)\n", len(m.Procs))
 	fmt.Fprintf(w, "steps %d\n", m.Steps)
 	fmt.Fprintf(w, "two_phase_rounds %d\n", m.TwoPhaseRounds)
+	fmt.Fprintf(w, "sched_updates %d\n", m.SchedUpdates)
+	fmt.Fprintf(w, "sched_rebuilds %d\n", m.SchedRebuilds)
 	fmt.Fprintf(w, "fault_windows %d\n", m.FaultWindows)
 	fmt.Fprintf(w, "fault_corruptions %d\n", m.FaultCorruptions)
 	fmt.Fprintf(w, "kernel_panics %d\n", m.KernelPanics)

@@ -83,8 +83,6 @@ type Ctx struct {
 	crashReason string
 }
 
-func newCtx(p *Proc) *Ctx { return &Ctx{p: p} }
-
 // Proc returns the owning process.
 func (c *Ctx) Proc() *Proc { return c.p }
 

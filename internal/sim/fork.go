@@ -92,11 +92,19 @@ func (w *World) Fork() (*World, error) {
 		MaxTime:       w.MaxTime,
 		MaxSteps:      w.MaxSteps,
 		EventCount:    w.EventCount,
+		ScanSched:     w.ScanSched,
+		doneCount:     w.doneCount,
+		deadCount:     w.deadCount,
 		msgSeq:        w.msgSeq,
 		stepCount:     w.stepCount,
 		seed:          w.seed,
 		inited:        w.inited,
 	}
+	// The readiness index is not forked: nw.schedBuilt stays false and the
+	// fork's first scheduling decision rebuilds its own heap (O(live), and
+	// campaign forks typically step only a short suffix). Message arenas
+	// likewise start fresh; the template's messages are immutable and
+	// shared by pointer.
 	// Outputs slices are append-only; a capacity-clamped reslice shares the
 	// committed prefix copy-on-write: either side's next append reallocates.
 	for i, o := range w.Outputs {
@@ -108,9 +116,10 @@ func (w *World) Fork() (*World, error) {
 		nw.Trace = w.Trace.Fork()
 	}
 	nw.Procs = make([]*Proc, len(w.Procs))
+	slab := make([]Proc, len(w.Procs))
 	for i, p := range w.Procs {
-		np, err := p.fork(nw)
-		if err != nil {
+		np := &slab[i]
+		if err := p.forkInto(np, nw); err != nil {
 			return nil, err
 		}
 		nw.Procs[i] = np
@@ -132,19 +141,19 @@ func (w *World) Fork() (*World, error) {
 	return nw, nil
 }
 
-// fork deep-copies the process into world nw. Messages are immutable once
-// enqueued (every mutation path copies first), so inbox/retained/replay
-// entries share *Msg pointers with the template.
-func (p *Proc) fork(nw *World) (*Proc, error) {
+// forkInto deep-copies the process into slab slot np of world nw. Messages
+// are immutable once enqueued (every mutation path copies first), so
+// inbox/retained/replay entries share *Msg pointers with the template.
+func (p *Proc) forkInto(np *Proc, nw *World) error {
 	fp, ok := p.Prog.(Forker)
 	if !ok {
-		return nil, fmt.Errorf("sim: program %T (%s) is not forkable", p.Prog, p.Prog.Name())
+		return fmt.Errorf("sim: program %T (%s) is not forkable", p.Prog, p.Prog.Name())
 	}
 	prog, err := fp.Fork()
 	if err != nil {
-		return nil, fmt.Errorf("sim: fork program %s: %w", p.Prog.Name(), err)
+		return fmt.Errorf("sim: fork program %s: %w", p.Prog.Name(), err)
 	}
-	np := &Proc{
+	*np = Proc{
 		Index:       p.Index,
 		Prog:        prog,
 		World:       nw,
@@ -165,6 +174,7 @@ func (p *Proc) fork(nw *World) (*Proc, error) {
 		dead:        p.dead,
 		inboxMin:    p.inboxMin,
 		inboxMinOK:  p.inboxMinOK,
+		schedIdx:    -1, // the fork builds its own readiness index
 	}
 	// Single-process worlds never populate RecvHW; bumpRecvHW rebuilds the
 	// map on the fork's first receive.
@@ -178,9 +188,9 @@ func (p *Proc) fork(nw *World) (*Proc, error) {
 	// fresh generator per fork would dominate fork cost for the campaign
 	// workloads that never call Ctx.Rand. The recorded seed and draw count
 	// let rand() rebuild the identical stream position on first draw.
-	np.ctx = newCtx(np)
+	np.initCtx()
 	np.ctx.Inputs = p.ctx.Inputs // scripted input is immutable
-	return np, nil
+	return nil
 }
 
 // bumpRecvHW advances the per-sender receive high-water mark, building the

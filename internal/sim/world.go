@@ -86,8 +86,30 @@ type Proc struct {
 	inboxMin   time.Duration
 	inboxMinOK bool
 
+	// schedAt/schedIdx are the process's slot in the world's readiness
+	// index (see sched.go): schedAt is the heap key (the readyAt the heap
+	// last saw), schedIdx the heap position (-1 = not runnable / not in
+	// the heap), and schedDirty marks a pending reindex on the world's
+	// stale list.
+	schedAt    time.Duration
+	schedIdx   int
+	schedDirty bool
+
+	// ctxStore inlines the runtime context in the process's own arena
+	// slot (ctx == &ctxStore), making Proc self-referential: Proc values
+	// must never be copied — worlds allocate fixed-size slabs and fork
+	// fills slots in place.
+	ctxStore Ctx
+
 	// ckptSenders is reusable scratch for AppendCheckpointImage.
 	ckptSenders []int
+}
+
+// initCtx wires the inline context to its owning process. Must run before
+// the Proc is shared, and never again after ctx escapes.
+func (p *Proc) initCtx() {
+	p.ctxStore = Ctx{p: p}
+	p.ctx = &p.ctxStore
 }
 
 // inboxAdd appends a message, maintaining the cached delivery minimum and
@@ -106,11 +128,15 @@ func (p *Proc) inboxAdd(m *Msg) {
 			pm.InboxPeak = depth
 		}
 	}
+	p.World.schedTouch(p)
 }
 
 // inboxChanged invalidates the cached delivery minimum after a removal or
 // wholesale rebuild of the inbox.
-func (p *Proc) inboxChanged() { p.inboxMinOK = false }
+func (p *Proc) inboxChanged() {
+	p.inboxMinOK = false
+	p.World.schedTouch(p)
+}
 
 // earliestInbox returns the minimum DeliverAt over the inbox, recomputing
 // the cache only when an earlier mutation invalidated it.
@@ -193,6 +219,34 @@ type World struct {
 	// nil (the default) is silent.
 	DebugLog *obs.DebugLog
 
+	// ScanSched selects the legacy O(Procs) scheduling scan instead of
+	// the readiness index — the `-sched=scan` escape hatch and the
+	// differential oracle the equivalence tests and CI diff against.
+	// Must be set before the first Step; Fork inherits it.
+	ScanSched bool
+
+	// sched is the readiness index: a binary min-heap of runnable
+	// processes keyed by (readyAt, pid); schedStale lists processes whose
+	// readiness inputs changed since the last scheduling decision, and
+	// schedBuilt marks the index constructed (it rebuilds lazily on the
+	// first indexed decision after NewWorld, Init or Fork). See sched.go.
+	sched      []*Proc
+	schedStale []*Proc
+	schedBuilt bool
+
+	// doneCount/deadCount track status transitions so AllDone and
+	// liveness queries are O(1) instead of rescanning Procs.
+	doneCount int
+	deadCount int
+
+	// msgBlock/payloadBlock are the message arenas: send bump-allocates
+	// Msg headers and payload bytes out of fixed-size blocks instead of
+	// two heap objects per message. Messages are immutable once enqueued
+	// (every mutation path copies first), so blocks are safely shared
+	// with forks; a fork starts fresh blocks of its own.
+	msgBlock     []Msg
+	payloadBlock []byte
+
 	msgSeq    int64
 	stepCount int
 	seed      int64
@@ -202,8 +256,53 @@ type World struct {
 	frozen bool
 }
 
+// msgBlockSize and payloadBlockSize size the message arena blocks: big
+// enough to amortize allocation to noise, small enough that a mostly-idle
+// world wastes little.
+const (
+	msgBlockSize     = 256
+	payloadBlockSize = 16 << 10
+)
+
+// allocMsg bump-allocates one message header from the arena. A full block
+// is abandoned to the messages already pointing into it (the GC frees it
+// when the last one goes) and a fresh block begins.
+//
+//failtrans:hotpath
+func (w *World) allocMsg() *Msg {
+	if len(w.msgBlock) == cap(w.msgBlock) {
+		//failtrans:alloc amortized arena growth: one block per msgBlockSize messages
+		w.msgBlock = make([]Msg, 0, msgBlockSize)
+	}
+	n := len(w.msgBlock)
+	w.msgBlock = w.msgBlock[:n+1]
+	return &w.msgBlock[n]
+}
+
+// allocBytes bump-allocates n payload bytes, capacity-clamped so an
+// appending consumer can never bleed into the next payload.
+//
+//failtrans:hotpath
+func (w *World) allocBytes(n int) []byte {
+	if len(w.payloadBlock)+n > cap(w.payloadBlock) {
+		size := payloadBlockSize
+		if n > size {
+			size = n
+		}
+		//failtrans:alloc amortized arena growth: one block per payloadBlockSize bytes
+		w.payloadBlock = make([]byte, 0, size)
+	}
+	off := len(w.payloadBlock)
+	w.payloadBlock = w.payloadBlock[:off+n]
+	return w.payloadBlock[off : off+n : off+n]
+}
+
 // NewWorld creates a computation of the given programs, seeded
-// deterministically.
+// deterministically. Processes live in one fixed-size slab (their contexts
+// inlined), so a 10⁵-proc world is a handful of allocations, not 3n; the
+// slab never grows, keeping interior pointers stable. The per-sender
+// receive high-water map materializes on first receive (bumpRecvHW), so
+// parked processes carry none.
 func NewWorld(seed int64, progs ...Program) *World {
 	w := &World{
 		Latency:     100 * time.Microsecond,
@@ -211,18 +310,19 @@ func NewWorld(seed int64, progs ...Program) *World {
 		Outputs:     make([][]string, len(progs)),
 		RecordTrace: true,
 		seed:        seed,
+		ScanSched:   DefaultScanSched,
 	}
+	slab := make([]Proc, len(progs))
+	w.Procs = make([]*Proc, len(progs))
 	for i, prog := range progs {
-		procSeed := seed ^ (int64(i)+1)*0x5851f42d4c957f2d
-		p := &Proc{
-			Index:   i,
-			Prog:    prog,
-			World:   w,
-			rngSeed: procSeed,
-			RecvHW:  make(map[int]int64),
-		}
-		p.ctx = newCtx(p)
-		w.Procs = append(w.Procs, p)
+		p := &slab[i]
+		p.Index = i
+		p.Prog = prog
+		p.World = w
+		p.rngSeed = seed ^ (int64(i)+1)*0x5851f42d4c957f2d
+		p.schedIdx = -1
+		p.initCtx()
+		w.Procs[i] = p
 	}
 	return w
 }
@@ -296,6 +396,7 @@ func (w *World) Delay(p *Proc, d time.Duration) {
 	if p.wake < w.Clock {
 		p.wake = w.Clock
 	}
+	w.schedTouch(p)
 }
 
 // send enqueues a message for delivery.
@@ -306,12 +407,15 @@ func (w *World) send(from, to int, payload []byte) (int64, error) {
 	w.msgSeq++
 	src := w.Procs[from]
 	src.SendSeq++
-	m := &Msg{
+	buf := w.allocBytes(len(payload))
+	copy(buf, payload)
+	m := w.allocMsg()
+	*m = Msg{
 		ID:        w.msgSeq,
 		From:      from,
 		To:        to,
 		SendIdx:   src.SendSeq,
-		Payload:   append([]byte(nil), payload...),
+		Payload:   buf,
 		DeliverAt: w.Clock + src.ctx.elapsed + w.Latency,
 	}
 	w.Procs[to].inboxAdd(m)
@@ -348,6 +452,8 @@ func (w *World) RequeueRetained(p *Proc) {
 	p.replayQueue = append(p.replayQueue[:0], p.retained...)
 	p.retained = p.retained[:0]
 	p.retainBase = p.Steps
+	// A non-empty replay queue makes a blocked process runnable at wake.
+	w.schedTouch(p)
 }
 
 // flushReplayQueue abandons position-gated redelivery (the re-execution
@@ -418,13 +524,11 @@ func (w *World) readyAt(p *Proc) (time.Duration, bool) {
 	}
 }
 
-// Step executes a single scheduling decision: pick the earliest runnable
-// process and run one Program step. It returns false when no process can
-// run.
-func (w *World) Step() (bool, error) {
-	if w.frozen {
-		return false, fmt.Errorf("sim: stepping a frozen template world")
-	}
+// scanPick is the legacy O(Procs) scheduling scan: the first process with
+// the strictly smallest readyAt wins, so ties go to the lowest pid. Kept
+// behind ScanSched as an escape hatch and as the differential oracle the
+// readiness index is byte-identity-checked against.
+func (w *World) scanPick() (*Proc, time.Duration) {
 	var pick *Proc
 	var pickAt time.Duration
 	for _, p := range w.Procs {
@@ -435,6 +539,23 @@ func (w *World) Step() (bool, error) {
 		if pick == nil || at < pickAt {
 			pick, pickAt = p, at
 		}
+	}
+	return pick, pickAt
+}
+
+// Step executes a single scheduling decision: pick the earliest runnable
+// process and run one Program step. It returns false when no process can
+// run.
+func (w *World) Step() (bool, error) {
+	if w.frozen {
+		return false, fmt.Errorf("sim: stepping a frozen template world")
+	}
+	var pick *Proc
+	var pickAt time.Duration
+	if w.ScanSched {
+		pick, pickAt = w.scanPick()
+	} else {
+		pick, pickAt = w.schedPick()
 	}
 	if pick == nil {
 		return false, nil
@@ -511,10 +632,17 @@ func (w *World) Step() (bool, error) {
 			p.wake = w.Clock + p.ctx.elapsed
 		} else {
 			p.dead = true
+			w.deadCount++
 		}
 	case Done:
 		p.wake = w.Clock + p.ctx.elapsed
+		// The pick was runnable, so this is always a fresh transition
+		// (Done processes never step again).
+		w.doneCount++
 	}
+	// The stepped process's status, wake and inbox all changed; reindex it
+	// at the next scheduling decision.
+	w.schedTouch(p)
 	return true, nil
 }
 
@@ -534,6 +662,9 @@ func (w *World) Init() error {
 		p.wake = w.Clock + p.ctx.elapsed
 		p.ctx.elapsed = 0
 	}
+	// Wakes moved wholesale; the first scheduling decision rebuilds the
+	// readiness index from scratch (covers a pre-Init Step too).
+	w.schedBuilt = false
 	return nil
 }
 
@@ -557,12 +688,22 @@ func (w *World) Run() error {
 // the unit the snapshot engine's steps-saved accounting is expressed in.
 func (w *World) StepCount() int { return w.stepCount }
 
-// AllDone reports whether every process ran to completion.
+// AllDone reports whether every process ran to completion. O(1): status
+// transitions maintain the done counter (Done is terminal — a Done process
+// is never runnable again).
 func (w *World) AllDone() bool {
-	for _, p := range w.Procs {
-		if p.status != Done {
-			return false
-		}
-	}
-	return true
+	return w.doneCount == len(w.Procs)
+}
+
+// DoneCount reports how many processes ran to completion.
+func (w *World) DoneCount() int { return w.doneCount }
+
+// DeadCount reports how many processes crashed unrecovered.
+func (w *World) DeadCount() int { return w.deadCount }
+
+// Live reports how many processes are neither Done nor dead — the "active"
+// the scheduler's O(active) is measured against. O(1) via the same
+// transition counters.
+func (w *World) Live() int {
+	return len(w.Procs) - w.doneCount - w.deadCount
 }
